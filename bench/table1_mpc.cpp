@@ -1,0 +1,81 @@
+/// T1-MPC — Table 1, MPC rows.
+///
+/// The paper's Table 1 compares the eps-dependence of three boosting
+/// frameworks in MPC: [FMU22] O(1/eps^52), [FMU22]+[MMSS25] O(1/eps^39) and
+/// this work O(1/eps^7 * log(1/eps)). Those are *scheduled worst-case*
+/// invocation counts; no system evaluation exists in the paper. We reproduce
+/// the table two ways:
+///   (a) the scheduled-bound columns, printed from the papers' formulas, and
+///   (b) measured A_matching invocations and simulated MPC rounds of our
+///       implementation (and of the no-stage-split ablation, which is the
+///       [FMU22]-style simulation this work improves on) on instances whose
+///       augmenting-path length scales with 1/eps.
+/// The claim under test is the *shape*: measured invocations of this work
+/// grow polynomially with a small exponent, and the stage-split variant never
+/// loses to the unsplit one.
+
+#include <cmath>
+#include <cstdio>
+
+#include "matching/blossom_exact.hpp"
+#include "mpc/mpc_boost.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  {
+    Table sched({"framework", "complexity in eps", "eps=1/2", "eps=1/4", "eps=1/8"});
+    auto row = [&](const char* name, const char* formula, double exp, bool logf) {
+      std::vector<std::string> cells{name, formula};
+      for (double eps : {0.5, 0.25, 0.125}) {
+        double v = std::pow(1.0 / eps, exp);
+        if (logf) v *= std::log2(1.0 / eps) + 1.0;
+        cells.push_back(Table::num(v, 0));
+      }
+      sched.add_row(cells);
+    };
+    row("[FMU22]", "O(1/eps^52)", 52, false);
+    row("[FMU22]+[MMSS25]", "O(1/eps^39)", 39, false);
+    row("this work (Thm 1.1)", "O(1/eps^7 log(1/eps))", 7, true);
+    sched.print("Table 1 (MPC): scheduled oracle-invocation bounds");
+  }
+
+  Table meas({"eps", "calls (ours)", "calls (no stage split)", "MPC rounds",
+              "ratio", "certified"});
+  std::vector<double> inv_eps, calls_series;
+  for (double eps : {0.5, 0.25, 0.125, 0.0625}) {
+    // Chains whose augmenting paths have length ~ 2/eps + 1: the regime the
+    // framework exists for.
+    const auto k = static_cast<Vertex>(std::ceil(1.0 / eps));
+    const Graph g = gen_adversarial_chains(64, k);
+    const std::int64_t mu = maximum_matching_size(g);
+
+    CoreConfig cfg;
+    cfg.eps = eps;
+    const mpc::MpcBoostResult ours = mpc::mpc_boost_matching(g, {8, 0}, cfg);
+
+    CoreConfig unsplit = cfg;
+    unsplit.stage_split = false;
+    const mpc::MpcBoostResult flat = mpc::mpc_boost_matching(g, {8, 0}, unsplit);
+
+    inv_eps.push_back(1.0 / eps);
+    calls_series.push_back(static_cast<double>(ours.boost.total_oracle_calls));
+    meas.add_row({Table::num(eps, 4),
+                  Table::integer(ours.boost.total_oracle_calls),
+                  Table::integer(flat.boost.total_oracle_calls),
+                  Table::integer(ours.total_rounds()),
+                  Table::num(static_cast<double>(mu) /
+                                 static_cast<double>(ours.boost.matching.size()),
+                             4),
+                  ours.boost.outcome.certified ? "yes" : "no"});
+  }
+  meas.print("Table 1 (MPC): measured on augmenting chains (64 gadgets, k ~ 1/eps)");
+  std::printf(
+      "fitted exponent of measured calls ~ (1/eps)^k: k = %.2f "
+      "(paper bound: 7 + log factor; prior frameworks: 39-52)\n",
+      fit_loglog_slope(inv_eps, calls_series));
+  return 0;
+}

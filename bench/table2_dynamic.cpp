@@ -1,0 +1,162 @@
+/// T2-DYN — Table 2: fully dynamic (1+eps)-approximate matching.
+///
+/// Table 2 contrasts update-time complexities: the [McG05]-derived rows
+/// ([BG24], [AKK25]) carry (1/eps)^O(1/eps) factors, while this work's rows
+/// (Theorems 7.4, 7.12, 7.15) are polynomial in 1/eps. We measure four
+/// pipelines on the same update streams:
+///
+///   baseline-McG (sched.)  periodic rebuild via the exponential layered
+///                          booster; the full (2k)^k repetition schedule is
+///                          infeasible to execute (that is the point), so the
+///                          column extrapolates measured per-repetition cost
+///                          times the schedule — marked "extrapolated";
+///   baseline-McG (adapt.)  the same booster with early stopping (practical
+///                          but heuristic: it forfeits the w.h.p. guarantee);
+///   this-work              Theorem 7.1 matcher, adjacency-matrix A_weak;
+///   this-work-OMv          same matcher behind the OMv-backed A_weak (7.12);
+///   offline                Theorem 7.15 blocked offline pipeline.
+///
+/// Expected shape: the scheduled baseline column explodes as eps shrinks;
+/// all this-work columns grow polynomially.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/mcgregor.hpp"
+#include "dynamic/dynamic_matcher.hpp"
+#include "omv/offline.hpp"
+#include "omv/omv_weak.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "util/table.hpp"
+#include "workloads/dyn_workload.hpp"
+
+namespace {
+
+using namespace bmf;
+
+double run_dynamic(Vertex n, const std::vector<EdgeUpdate>& updates,
+                   WeakOracle& oracle, double eps) {
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  DynamicMatcher dm(n, oracle, cfg);
+  Timer t;
+  for (const EdgeUpdate& up : updates) dm.apply(up);
+  return t.micros() / static_cast<double>(updates.size());
+}
+
+struct BaselineCost {
+  double adaptive_us_per_update = 0;
+  double scheduled_us_per_update = 0;  // extrapolated
+};
+
+BaselineCost run_mcgregor_baseline(Vertex n, const std::vector<EdgeUpdate>& updates,
+                                   double eps) {
+  DynGraph g(n);
+  Matching m(n);
+  std::int64_t since = 0;
+  std::int64_t rebuilds = 0;
+  Accumulator rep_cost_us;  // measured cost of one layered repetition
+  Timer total;
+  for (const EdgeUpdate& up : updates) {
+    if (!up.empty()) {
+      if (up.insert) {
+        if (g.insert(up.u, up.v) && m.is_free(up.u) && m.is_free(up.v))
+          m.add(up.u, up.v);
+      } else if (g.erase(up.u, up.v) && m.has(up.u, up.v)) {
+        m.remove_at(up.u);
+      }
+    }
+    const std::int64_t budget = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(eps * static_cast<double>(m.size()) / 4.0));
+    if (++since >= budget) {
+      since = 0;
+      ++rebuilds;
+      McGregorConfig mc;
+      mc.eps = eps / 2.0;
+      mc.stall_limit = 8;  // adaptive early stop (practical variant)
+      const Graph snapshot = g.snapshot();
+      Timer rt;
+      const McGregorStats stats = mcgregor_boost(snapshot, m, mc);
+      if (stats.repetitions > 0)
+        rep_cost_us.add(rt.micros() / static_cast<double>(stats.repetitions));
+    }
+  }
+  BaselineCost out;
+  out.adaptive_us_per_update = total.micros() / static_cast<double>(updates.size());
+
+  // Extrapolate the full (2k)^k schedule the analysis demands.
+  McGregorConfig mc;
+  mc.eps = eps / 2.0;
+  const int k = std::max(1, static_cast<int>(std::ceil(1.0 / mc.eps)));
+  const double scheduled =
+      std::pow(2.0 * static_cast<double>(k), static_cast<double>(k));
+  out.scheduled_us_per_update = rep_cost_us.mean() * scheduled *
+                                static_cast<double>(rebuilds) /
+                                static_cast<double>(updates.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bmf;
+
+  {
+    Table sched({"reference", "complexity in eps", "complexity in n"});
+    sched.add_row({"[BG24]", "(1/eps)^O(1/eps)", "sqrt(n^(1+O(eps))) * ORS(...)"});
+    sched.add_row({"[AKK25]", "(1/eps)^O(1/(eps*beta))", "n^beta * ORS(...)"});
+    sched.add_row({"[Liu24] (bipartite)", "poly(1/eps)", "n / 2^Omega(sqrt(log n))"});
+    sched.add_row({"this work, Thm 7.4", "(1/eps)^O(1/beta)", "n^beta * ORS(...)"});
+    sched.add_row({"this work, Thm 7.12", "poly(1/eps)", "n / 2^Omega(sqrt(log n))"});
+    sched.add_row({"this work, Thm 7.15 (offline)", "poly(1/eps)", "n^0.58"});
+    sched.print("Table 2: claimed complexities (for reference)");
+  }
+
+  const Vertex n = 150;
+  Rng rng(2025);
+  const auto updates = dyn_random_updates(n, 900, 0.7, rng);
+
+  Table t({"eps", "McG sched. us/up (extrap.)", "McG adaptive us/up",
+           "this-work us/up", "this-work-OMv us/up", "offline us/up"});
+  for (double eps : {0.5, 0.3333, 0.25, 0.2}) {
+    const BaselineCost base = run_mcgregor_baseline(n, updates, eps);
+
+    MatrixWeakOracle mw(n);
+    const double ours = run_dynamic(n, updates, mw, eps);
+
+    OMvWeakOracle ow(n);
+    const double ours_omv = run_dynamic(n, updates, ow, eps);
+
+    WeakSimConfig sim;
+    sim.core.eps = eps / 2.0;
+    Timer ot;
+    const auto off = offline_dynamic_matching(
+        n, updates, /*chunk=*/std::max<std::int64_t>(1, n / 10), /*t_block=*/4, sim);
+    const double offline_us = ot.micros() / static_cast<double>(updates.size());
+    (void)off;
+
+    t.add_row({Table::num(eps, 4), Table::num(base.scheduled_us_per_update, 0),
+               Table::num(base.adaptive_us_per_update, 1), Table::num(ours, 1),
+               Table::num(ours_omv, 1), Table::num(offline_us, 1)});
+  }
+  t.print("Table 2: measured amortized update time, random churn (n=150, 900 updates)");
+  std::printf(
+      "shape check: the scheduled baseline column grows as (2k)^k with\n"
+      "k = 2/eps (16, 1.3e3, 1.7e5, 1e7, ... times the per-repetition cost);\n"
+      "every this-work column stays polynomial in 1/eps.\n");
+
+  // n-scaling of the polynomial pipelines at fixed eps.
+  Table tn({"n", "this-work us/up", "this-work-OMv us/up"});
+  for (Vertex nn : {100, 200, 400}) {
+    Rng r2(7);
+    const auto ups = dyn_random_updates(nn, 800, 0.7, r2);
+    MatrixWeakOracle mw(nn);
+    const double a = run_dynamic(nn, ups, mw, 0.25);
+    OMvWeakOracle ow(nn);
+    const double b = run_dynamic(nn, ups, ow, 0.25);
+    tn.add_row({Table::integer(nn), Table::num(a, 1), Table::num(b, 1)});
+  }
+  tn.print("Table 2 (cont.): n-scaling at eps = 1/4");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// WTD — weighted matching through the unweighted booster (Section 1.2
+/// reductions: [GP13] weight scaling + [SVW17] class combination).
+///
+/// The paper's framework outputs (1+eps)-approximate MCMs; the related-work
+/// reductions lift it to maximum *weight* matching at a (2+O(eps)) factor.
+/// We measure achieved weight against the exact optimum (small instances)
+/// and against the classic sort-by-weight greedy baseline (large ones),
+/// plus the number of weight classes [GP13] scaling leaves behind.
+
+#include <cstdio>
+
+#include "util/timer.hpp"
+#include "util/table.hpp"
+#include "weighted/weighted.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  // Small instances: exact optimum available.
+  {
+    Table t({"instance", "opt", "pipeline", "greedy", "pipeline/opt",
+             "classes"});
+    Rng rng(3);
+    for (int i = 0; i < 4; ++i) {
+      const Graph g = gen_random_graph(16, 48, rng);
+      WeightedGraph wg;
+      wg.n = g.num_vertices();
+      for (const Edge& e : g.edges())
+        wg.edges.push_back({e.u, e.v, 1.0 + rng.next_double() * 499.0});
+      const Weight opt = brute_force_weighted_matching(wg);
+      const WeightedBoostResult r =
+          boosted_weighted_matching(wg, 0.2, CoreConfig{});
+      const Weight greedy = matching_weight(wg, greedy_weighted_matching(wg));
+      t.add_row({("random16 #" + std::to_string(i)).c_str(), Table::num(opt, 1),
+                 Table::num(r.weight, 1), Table::num(greedy, 1),
+                 Table::num(r.weight / opt, 3), Table::integer(r.classes)});
+    }
+    t.print("WTD (small): pipeline vs exact optimum (guarantee >= 1/(2+O(eps)))");
+  }
+
+  // Larger instances: greedy baseline comparison and timing.
+  {
+    Table t({"n", "m", "weights", "pipeline wt", "greedy wt", "lift", "ms",
+             "oracle calls"});
+    Rng rng(9);
+    for (const auto& [n, m, wmax] :
+         std::vector<std::tuple<Vertex, std::int64_t, double>>{
+             {500, 2000, 100.0}, {1000, 4000, 1000.0}, {2000, 8000, 10000.0}}) {
+      const Graph g = gen_random_graph(n, m, rng);
+      WeightedGraph wg;
+      wg.n = n;
+      for (const Edge& e : g.edges())
+        wg.edges.push_back({e.u, e.v, 1.0 + rng.next_double() * (wmax - 1.0)});
+      Timer timer;
+      const WeightedBoostResult r =
+          boosted_weighted_matching(wg, 0.2, CoreConfig{});
+      const double ms = timer.millis();
+      const Weight greedy = matching_weight(wg, greedy_weighted_matching(wg));
+      t.add_row({Table::integer(n), Table::integer(m),
+                 ("[1," + Table::num(wmax, 0) + "]"), Table::num(r.weight, 0),
+                 Table::num(greedy, 0), Table::num(r.weight / greedy, 3),
+                 Table::num(ms, 1), Table::integer(r.oracle_calls)});
+    }
+    t.print("WTD (large): pipeline vs greedy 2-approx baseline, eps = 0.2");
+  }
+  std::printf(
+      "note: [BCD+25]+[BDL21] (Table 2's weighted context) would replace the\n"
+      "(2+eps) class combination with a (1+eps) reduction; the class pipeline\n"
+      "here demonstrates the composition surface of the framework.\n");
+  return 0;
+}

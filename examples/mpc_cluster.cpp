@@ -1,0 +1,46 @@
+/// MPC example: boost a distributed maximal-matching oracle to (1+eps) on a
+/// simulated cluster (Corollary A.1).
+///
+/// Models a batch-processing job: a large task-compatibility graph is
+/// distributed over machines; the cluster's only global primitive is the
+/// random-priority maximal matching, and the framework turns it into a
+/// near-optimal assignment while counting simulated rounds.
+
+#include <cstdio>
+
+#include "matching/blossom_exact.hpp"
+#include "mpc/mpc_boost.hpp"
+#include "util/rng.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  Rng rng(7);
+  const Graph g = gen_near_regular(5000, 6, rng);
+  const std::int64_t mu = maximum_matching_size(g);
+
+  mpc::MpcConfig cluster_cfg;
+  cluster_cfg.machines = 16;
+
+  for (double eps : {0.5, 0.2, 0.1}) {
+    CoreConfig cfg;
+    cfg.eps = eps;
+    const mpc::MpcBoostResult r = mpc::mpc_boost_matching(g, cluster_cfg, cfg);
+    std::printf(
+        "eps=%.2f  |M|=%lld (mu=%lld, ratio %.4f)  oracle calls=%lld  "
+        "rounds: A_matching=%lld A_process=%lld total=%lld\n",
+        eps, static_cast<long long>(r.boost.matching.size()),
+        static_cast<long long>(mu),
+        static_cast<double>(mu) / static_cast<double>(r.boost.matching.size()),
+        static_cast<long long>(r.boost.total_oracle_calls),
+        static_cast<long long>(r.oracle_rounds),
+        static_cast<long long>(r.process_rounds),
+        static_cast<long long>(r.total_rounds()));
+  }
+  std::printf(
+      "\nThe framework's round cost is (rounds per A_matching call) x\n"
+      "O(log(1/eps)/eps^7) + O(1) A_process rounds per pass-bundle — the MPC\n"
+      "row of Table 1.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Semi-streaming example: (1+eps)-approximate matching with counted passes
+/// over an edge stream ([MMSS25], Section 4 — the algorithm the boosting
+/// framework simulates).
+///
+/// Models an edge list too large to rearrange: each pass streams the edges in
+/// (possibly adversarial) order, memory stays O(n poly(1/eps)) words.
+
+#include <cstdio>
+
+#include "matching/blossom_exact.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/streaming_matcher.hpp"
+#include "util/rng.hpp"
+#include "workloads/gen.hpp"
+
+int main() {
+  using namespace bmf;
+
+  Rng rng(11);
+  const Graph g = gen_random_graph(20000, 120000, rng);
+  const std::int64_t mu = maximum_matching_size(g);
+
+  for (double eps : {0.5, 0.25}) {
+    EdgeStream stream(g, /*shuffle_each_pass=*/true, 99);
+    CoreConfig cfg;
+    cfg.eps = eps;
+    const StreamingResult r = streaming_matching(stream, g.num_vertices(), cfg);
+    std::printf(
+        "eps=%.2f  |M|=%lld (mu=%lld, ratio %.4f)  passes=%lld  "
+        "peak structure memory=%lld words\n",
+        eps, static_cast<long long>(r.matching.size()),
+        static_cast<long long>(mu),
+        static_cast<double>(mu) / static_cast<double>(r.matching.size()),
+        static_cast<long long>(r.passes),
+        static_cast<long long>(r.peak_memory_words));
+  }
+  std::printf("\nEach pass-bundle costs 3 passes (1 extend + 2 contract-and-\n"
+              "augment); the pass count tracks phases, not the stream length.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "baselines/mcgregor.hpp"
+
+#include <cmath>
+
+#include "matching/greedy.hpp"
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+/// One random layering attempt: finds a maximal set of vertex-disjoint
+/// augmenting paths respecting layers/orientations, and augments m.
+std::int64_t layered_attempt(const Graph& g, Matching& m, int k, Rng& rng) {
+  const Vertex n = g.num_vertices();
+  // layer[v] in {1..k} and head flag for the matched edge at v; unmatched
+  // vertices carry no layer.
+  std::vector<std::int32_t> layer(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint8_t> is_head(static_cast<std::size_t>(n), 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex w = m.mate(v);
+    if (w == kNoVertex || w < v) continue;
+    const auto l = static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(k))) + 1;
+    layer[static_cast<std::size_t>(v)] = l;
+    layer[static_cast<std::size_t>(w)] = l;
+    // Orientation: the head is the endpoint the path must enter through.
+    const bool v_is_head = rng.next_bool(0.5);
+    is_head[static_cast<std::size_t>(v)] = v_is_head;
+    is_head[static_cast<std::size_t>(w)] = !v_is_head;
+  }
+
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> path;
+
+  // DFS over layered alternating paths: at an exposed endpoint or after a
+  // matched edge of layer l, the next matched edge must have layer l+1 and be
+  // entered at its head; a free vertex closes an augmenting path.
+  auto dfs = [&](auto&& self, Vertex v, int next_layer) -> bool {
+    for (Vertex w : g.neighbors(v)) {
+      if (used[static_cast<std::size_t>(w)]) continue;
+      if (m.mate(v) == w) continue;  // must leave along an unmatched edge
+      if (m.is_free(w)) {
+        // A free vertex reached over an unmatched edge closes an augmenting
+        // path regardless of the layer budget.
+        path.push_back(w);
+        return true;
+      }
+      if (layer[static_cast<std::size_t>(w)] != next_layer) continue;
+      if (!is_head[static_cast<std::size_t>(w)]) continue;
+      const Vertex x = m.mate(w);
+      if (used[static_cast<std::size_t>(x)]) continue;
+      used[static_cast<std::size_t>(w)] = 1;
+      used[static_cast<std::size_t>(x)] = 1;
+      path.push_back(w);
+      path.push_back(x);
+      if (self(self, x, next_layer + 1)) return true;
+      path.pop_back();
+      path.pop_back();
+      used[static_cast<std::size_t>(w)] = 0;
+      used[static_cast<std::size_t>(x)] = 0;
+    }
+    return false;
+  };
+
+  std::int64_t found = 0;
+  for (Vertex alpha = 0; alpha < n; ++alpha) {
+    if (!m.is_free(alpha) || used[static_cast<std::size_t>(alpha)]) continue;
+    path.clear();
+    path.push_back(alpha);
+    used[static_cast<std::size_t>(alpha)] = 1;
+    if (dfs(dfs, alpha, 1)) {
+      for (Vertex v : path) used[static_cast<std::size_t>(v)] = 1;
+      m.augment(path);
+      ++found;
+    } else {
+      used[static_cast<std::size_t>(alpha)] = 0;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+McGregorStats mcgregor_boost(const Graph& g, Matching& m,
+                             const McGregorConfig& cfg) {
+  BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "mcgregor_boost: eps out of range");
+  const int k = std::max(1, static_cast<int>(std::ceil(1.0 / cfg.eps)));
+  McGregorStats stats;
+  stats.scheduled_repetitions = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             cfg.schedule_factor *
+             std::pow(2.0 * static_cast<double>(k), static_cast<double>(k))));
+  Rng rng(cfg.seed);
+  std::int64_t stall = 0;
+  for (std::int64_t rep = 0; rep < stats.scheduled_repetitions; ++rep) {
+    ++stats.repetitions;
+    const std::int64_t found = layered_attempt(g, m, k, rng);
+    stats.augmentations += found;
+    if (found == 0) {
+      if (cfg.stall_limit > 0 && ++stall >= cfg.stall_limit) break;
+    } else {
+      stall = 0;
+    }
+  }
+  return stats;
+}
+
+std::pair<Matching, McGregorStats> mcgregor_matching(const Graph& g,
+                                                     const McGregorConfig& cfg) {
+  Matching m = greedy_maximal_matching(g);
+  McGregorStats stats = mcgregor_boost(g, m, cfg);
+  return {std::move(m), stats};
+}
+
+}  // namespace bmf

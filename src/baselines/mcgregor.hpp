@@ -1,0 +1,54 @@
+#pragma once
+
+/// McGregor-style (1+eps) booster with exponential 1/eps dependence [McG05].
+///
+/// This is the baseline behind the upper rows of Table 2: all dynamic
+/// (1+eps)-matching results derived from [McG05] ([BKS23, BG24, AKK25]) pay
+/// (1/eps)^Theta(1/eps) because the underlying path-finding primitive does.
+///
+/// The booster searches augmenting paths of length 2k+1 (k <= ceil(1/eps))
+/// through *random layerings*: every matched edge independently receives a
+/// layer in {1..k} and an orientation; a DFS from each free vertex is only
+/// allowed to traverse matched edges in layer order and orientation. A fixed
+/// augmenting path survives a random layering with probability
+/// ~ (1/(2k))^k, so Theta((2k)^k log n) repetitions find it w.h.p. — the
+/// exponential repetition count this baseline exists to exhibit. Each
+/// repetition costs one pass-equivalent (O(m) work), the unit the benchmarks
+/// report next to our framework's oracle calls.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+struct McGregorStats {
+  std::int64_t repetitions = 0;   ///< random layerings tried (pass-equivalents)
+  std::int64_t augmentations = 0;
+  /// The (2k)^k * factor schedule the analysis demands; the implementation
+  /// may stop earlier when `adaptive` is set and progress stalls.
+  std::int64_t scheduled_repetitions = 0;
+};
+
+struct McGregorConfig {
+  double eps = 0.25;
+  /// Stop after this many consecutive unproductive repetitions (0 = run the
+  /// full exponential schedule).
+  std::int64_t stall_limit = 0;
+  /// Multiplier on the (2k)^k schedule.
+  double schedule_factor = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Boosts m in place toward a (1+eps)-approximation by repeated random
+/// layerings; returns the repetition/augmentation counts.
+McGregorStats mcgregor_boost(const Graph& g, Matching& m,
+                             const McGregorConfig& cfg);
+
+/// Convenience: greedy maximal start, then mcgregor_boost.
+[[nodiscard]] std::pair<Matching, McGregorStats> mcgregor_matching(
+    const Graph& g, const McGregorConfig& cfg);
+
+}  // namespace bmf

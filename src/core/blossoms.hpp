@@ -1,0 +1,104 @@
+#pragma once
+
+/// Laminar blossom family with alternating-tree bookkeeping (Section 3.2).
+///
+/// A blossom is either trivial (a single vertex; ids [0, n) coincide with
+/// vertex ids) or composite: an odd cycle of child blossoms A_0..A_k joined
+/// by cycle edges e_0..e_k where e_i connects A_i to A_{i+1 mod k+1} and the
+/// odd-indexed edges are matched (Definition 3.4); the base of the composite
+/// is the base of A_0.
+///
+/// Root blossoms additionally carry the alternating-tree fields of the
+/// structure they belong to (tree parent/children, the G-edge to the parent,
+/// the inner/outer flag and the owning structure id). `even_path` implements
+/// Lemma 3.5: the even-length alternating path inside E_B from base(B) to any
+/// vertex of B.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bmf {
+
+using BlossomId = std::int32_t;
+using StructureId = std::int32_t;
+inline constexpr BlossomId kNoBlossom = -1;
+inline constexpr StructureId kNoStructure = -1;
+
+struct BlossomNode {
+  // --- laminar-family fields ---
+  Vertex vert = kNoVertex;            ///< the vertex, for trivial blossoms
+  BlossomId parent = kNoBlossom;      ///< enclosing blossom
+  Vertex base = kNoVertex;            ///< the vertex left unmatched inside E_B
+  std::vector<BlossomId> cycle;       ///< composite: odd cycle of children
+  std::vector<Edge> cycle_edges;      ///< cycle_edges[j] = {a in cycle[j], b in cycle[j+1 mod]}
+
+  // --- alternating-tree fields (meaningful for root blossoms only) ---
+  BlossomId tree_parent = kNoBlossom;
+  std::vector<BlossomId> tree_children;
+  /// G-edge connecting this root blossom to its tree parent:
+  /// pe_u lies in the parent blossom, pe_v in this one. For outer blossoms the
+  /// edge is matched (pe_v == base); for inner ones it is unmatched.
+  Vertex pe_u = kNoVertex, pe_v = kNoVertex;
+  StructureId structure = kNoStructure;
+  bool outer = false;
+
+  [[nodiscard]] bool is_trivial() const { return vert != kNoVertex; }
+};
+
+class BlossomArena {
+ public:
+  /// Re-initializes to n trivial blossoms (called at the start of each phase).
+  void reset(Vertex n);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] BlossomId num_blossoms() const {
+    return static_cast<BlossomId>(nodes_.size());
+  }
+
+  [[nodiscard]] const BlossomNode& node(BlossomId b) const {
+    return nodes_[static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] BlossomNode& node(BlossomId b) {
+    return nodes_[static_cast<std::size_t>(b)];
+  }
+
+  /// The trivial blossom of vertex v (== v).
+  [[nodiscard]] static BlossomId trivial(Vertex v) { return v; }
+
+  /// The root blossom containing v (Omega(v) of the paper).
+  [[nodiscard]] BlossomId omega(Vertex v) const;
+
+  /// The root blossom enclosing b (b itself if it is a root).
+  [[nodiscard]] BlossomId root_of(BlossomId b) const;
+
+  [[nodiscard]] Vertex base(BlossomId b) const { return node(b).base; }
+
+  /// Creates a composite blossom from an odd cycle of current root blossoms.
+  /// Sets the children's laminar parent and the new blossom's base; tree
+  /// fields are left for the caller to wire.
+  BlossomId make_composite(std::vector<BlossomId> cycle,
+                           std::vector<Edge> cycle_edges);
+
+  /// Appends all G-vertices contained in b to out.
+  void collect_vertices(BlossomId b, std::vector<Vertex>& out) const;
+  [[nodiscard]] std::vector<Vertex> vertices(BlossomId b) const;
+  [[nodiscard]] std::int64_t vertex_count(BlossomId b) const;
+
+  /// Lemma 3.5: even-length alternating path (inside E_B) from base(b) to
+  /// target, returned as the inclusive vertex sequence base .. target.
+  [[nodiscard]] std::vector<Vertex> even_path(BlossomId b, Vertex target) const;
+
+  /// Nesting depth of the laminar family above v's trivial blossom.
+  [[nodiscard]] int depth(Vertex v) const;
+
+ private:
+  /// Index i of the cycle child of b that contains v.
+  [[nodiscard]] std::size_t child_index_containing(BlossomId b, Vertex v) const;
+
+  Vertex n_ = 0;
+  std::vector<BlossomNode> nodes_;
+};
+
+}  // namespace bmf

@@ -1,0 +1,277 @@
+#include "core/framework.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+// Certificate soundness note: a valid c-approximate oracle returns a
+// non-empty matching whenever the derived graph has an edge (mu >= 1 implies
+// |M'| >= 1/c > 0). The simulation loops below therefore treat an empty or
+// entirely inapplicable answer on a non-empty graph as an out-of-contract
+// oracle and count it as a truncated loop, which withholds the Theorem B.4
+// certificate instead of issuing it falsely.
+
+namespace bmf {
+
+FrameworkDriver::FrameworkDriver(const Graph& g, MatchingOracle& oracle,
+                                 const CoreConfig& cfg)
+    : g_(g), oracle_(oracle), cfg_(cfg) {}
+
+bool FrameworkDriver::exhaustive() const {
+  return cfg_.iteration_mode == IterationMode::kUntilEmpty &&
+         stats_.truncated_loops == 0;
+}
+
+void FrameworkDriver::extend_active_path(StructureForest& forest) {
+  if (cfg_.stage_split) {
+    // Algorithm 5: stages s = 0 .. l_max; stage s handles s-feasible arcs
+    // (Definition 5.7), i.e. type-3 arcs whose overtaker sits at level s.
+    const int lmax = cfg_.ell_max();
+    for (int s = 0; s <= lmax; ++s) run_stage(forest, s);
+  } else {
+    // [FMU22]-style ablation: one loop over all type-3 arcs, no stage split.
+    run_stage(forest, -1);
+  }
+  // Per Remark 2 the trailing Contract-and-Augment of Algorithm 5 is skipped;
+  // the phase engine invokes contract_and_augment right after this call.
+}
+
+void FrameworkDriver::run_stage(StructureForest& forest, int stage) {
+  ++stats_.stage_loops;
+  const std::int64_t iteration_bound =
+      cfg_.scheduled_iterations(oracle_.approx_factor());
+  const Matching& m = forest.matching();
+
+  std::int64_t iterations = 0;
+  for (;;) {
+    // Build the bipartite stage graph H'_s (Definition 5.8): left nodes are
+    // working vertices of live structures at level `stage` that are neither
+    // on hold nor already extended this pass-bundle; right nodes are
+    // inner/unvisited matched vertices x with label(x) > level + 1.
+    std::unordered_map<StructureId, std::int32_t> left_index;
+    std::unordered_map<Vertex, std::int32_t> right_index;
+    std::vector<std::pair<Vertex, Vertex>> witness;  // (w, x) per H-edge
+    std::vector<int> edge_level;                     // overtaker level per H-edge
+    OracleGraph h;
+    std::vector<std::pair<std::int32_t, std::int32_t>> raw_edges;
+
+    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+      const StructureInfo& si = forest.structure(sid);
+      if (si.removed || si.on_hold || si.extended || si.working == kNoBlossom)
+        continue;
+      const int level = forest.outer_level(si.working);
+      if (stage >= 0 && level != stage) continue;
+      std::int32_t li = -1;
+      for (Vertex w : forest.blossom_vertices(si.working)) {
+        for (Vertex x : g_.neighbors(w)) {
+          if (forest.is_removed(x) || m.mate(x) == kNoVertex) continue;
+          if (m.mate(w) == x) continue;  // g must be unmatched
+          if (!forest.is_unvisited(x) && !forest.is_inner(x)) continue;
+          if (forest.label(x) <= level + 1) continue;
+          if (li < 0) {
+            li = static_cast<std::int32_t>(left_index.size());
+            left_index.emplace(sid, li);
+          }
+          const auto rit =
+              right_index.emplace(x, static_cast<std::int32_t>(right_index.size()))
+                  .first;
+          raw_edges.emplace_back(li, rit->second);
+          witness.emplace_back(w, x);
+          edge_level.push_back(level);
+        }
+      }
+    }
+    if (raw_edges.empty()) break;
+
+    // Deduplicate (left, right) pairs, keeping the first witness.
+    std::unordered_map<std::int64_t, std::size_t> seen;
+    h.n = static_cast<std::int32_t>(left_index.size() + right_index.size());
+    std::vector<std::pair<Vertex, Vertex>> edge_witness;
+    std::vector<int> edge_lvl;
+    const auto offset = static_cast<std::int32_t>(left_index.size());
+    for (std::size_t i = 0; i < raw_edges.size(); ++i) {
+      const std::int64_t key =
+          static_cast<std::int64_t>(raw_edges[i].first) * (h.n + 1) +
+          raw_edges[i].second;
+      if (!seen.emplace(key, i).second) continue;
+      h.edges.emplace_back(raw_edges[i].first,
+                           offset + raw_edges[i].second);
+      edge_witness.push_back(witness[i]);
+      edge_lvl.push_back(edge_level[i]);
+    }
+
+    const OracleMatching found = oracle_.find_matching(h);
+    ++stats_.stage_iterations;
+    ++iterations;
+    if (observer_)
+      observer_({stage, h.n, static_cast<std::int64_t>(h.edges.size()),
+                 static_cast<std::int64_t>(found.size())});
+
+    // Map matched H-edges back to witness arcs and perform Overtake on each
+    // (Lemma B.1 guarantees they stay s-feasible as we go; can_overtake
+    // re-validates defensively).
+    std::unordered_map<std::int64_t, std::size_t> edge_of;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      const std::int64_t key =
+          static_cast<std::int64_t>(h.edges[i].first) * (h.n + 1) +
+          h.edges[i].second;
+      edge_of.emplace(key, i);
+    }
+    std::int64_t applied = 0;
+    for (const auto& [a, b] : found) {
+      const std::int32_t l = std::min(a, b);
+      const std::int32_t r = std::max(a, b);
+      const auto it =
+          edge_of.find(static_cast<std::int64_t>(l) * (h.n + 1) + r);
+      if (it == edge_of.end()) continue;  // oracle returned a non-edge
+      const auto [w, x] = edge_witness[it->second];
+      const int k = edge_lvl[it->second] + 1;
+      if (forest.can_overtake(w, x, k)) {
+        forest.overtake(w, x, k);
+        ++applied;
+      }
+    }
+    if (found.empty() || applied == 0) {
+      if (!h.edges.empty()) ++stats_.truncated_loops;
+      break;
+    }
+    if (cfg_.iteration_mode == IterationMode::kPaperBound &&
+        iterations >= iteration_bound) {
+      ++stats_.truncated_loops;
+      break;
+    }
+  }
+}
+
+void FrameworkDriver::run_local_contractions(StructureForest& forest) {
+  // Step 1 of Contract-and-Augment: exhaust type-1 arcs. Only arcs incident
+  // to a working vertex qualify (Definition 5.2), so it suffices to rescan
+  // the (growing) working blossom after each contraction.
+  for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const StructureInfo& si = forest.structure(sid);
+      if (si.removed || si.working == kNoBlossom) break;
+      for (Vertex w : forest.blossom_vertices(si.working)) {
+        for (Vertex x : g_.neighbors(w)) {
+          if (forest.can_contract(w, x)) {
+            forest.contract(w, x);
+            changed = true;
+            break;
+          }
+        }
+        if (changed) break;
+      }
+    }
+  }
+}
+
+void FrameworkDriver::run_augment_loop(StructureForest& forest) {
+  // Step 2 of Contract-and-Augment (Algorithm 4): iterate A_matching on the
+  // structure graph H' (Definition 5.4) and Augment along each matched pair.
+  const std::int64_t iteration_bound =
+      cfg_.scheduled_iterations(oracle_.approx_factor());
+  std::int64_t iterations = 0;
+  for (;;) {
+    std::unordered_map<StructureId, std::int32_t> index;
+    std::unordered_map<std::int64_t, std::pair<Vertex, Vertex>> pair_witness;
+    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+      const StructureInfo& si = forest.structure(sid);
+      if (si.removed) continue;
+      for (Vertex w : si.members) {
+        if (!forest.is_outer(w)) continue;
+        for (Vertex x : g_.neighbors(w)) {
+          if (forest.is_removed(x)) continue;
+          const StructureId sx = forest.structure_of(x);
+          if (sx == kNoStructure || sx == sid || !forest.is_outer(x)) continue;
+          const auto ia = index.emplace(sid, static_cast<std::int32_t>(index.size()))
+                              .first->second;
+          const auto ib = index.emplace(sx, static_cast<std::int32_t>(index.size()))
+                              .first->second;
+          const std::int64_t key =
+              static_cast<std::int64_t>(std::min(ia, ib)) * (1LL << 31) +
+              std::max(ia, ib);
+          pair_witness.emplace(key, std::make_pair(w, x));
+        }
+      }
+    }
+    if (pair_witness.empty()) break;
+
+    OracleGraph h;
+    h.n = static_cast<std::int32_t>(index.size());
+    for (const auto& [key, wx] : pair_witness) {
+      (void)wx;
+      h.edges.emplace_back(static_cast<std::int32_t>(key >> 31),
+                           static_cast<std::int32_t>(key & ((1LL << 31) - 1)));
+    }
+    const OracleMatching found = oracle_.find_matching(h);
+    ++stats_.ca_iterations;
+    ++iterations;
+    if (observer_)
+      observer_({-1, h.n, static_cast<std::int64_t>(h.edges.size()),
+                 static_cast<std::int64_t>(found.size())});
+
+    std::int64_t applied = 0;
+    for (const auto& [a, b] : found) {
+      const std::int64_t key =
+          static_cast<std::int64_t>(std::min(a, b)) * (1LL << 31) + std::max(a, b);
+      const auto it = pair_witness.find(key);
+      if (it == pair_witness.end()) continue;
+      const auto [w, x] = it->second;
+      if (forest.can_augment(w, x)) {
+        forest.augment(w, x);
+        ++applied;
+      }
+    }
+    if (found.empty() || applied == 0) {
+      if (!h.edges.empty()) ++stats_.truncated_loops;
+      break;
+    }
+    if (cfg_.iteration_mode == IterationMode::kPaperBound &&
+        iterations >= iteration_bound) {
+      ++stats_.truncated_loops;
+      break;
+    }
+  }
+}
+
+void FrameworkDriver::contract_and_augment(StructureForest& forest) {
+  run_local_contractions(forest);
+  run_augment_loop(forest);
+}
+
+Matching framework_initial_matching(const Graph& g, MatchingOracle& oracle,
+                                    const CoreConfig& cfg) {
+  Matching m(g.num_vertices());
+  const auto bound = static_cast<std::int64_t>(2.0 * oracle.approx_factor()) + 1;
+  for (std::int64_t i = 0;; ++i) {
+    OracleGraph h;
+    h.n = g.num_vertices();
+    for (const Edge& e : g.edges())
+      if (m.is_free(e.u) && m.is_free(e.v)) h.edges.emplace_back(e.u, e.v);
+    if (h.edges.empty()) break;
+    const OracleMatching found = oracle.find_matching(h);
+    if (found.empty()) break;
+    for (const auto& [u, v] : found)
+      if (m.is_free(u) && m.is_free(v)) m.add(u, v);
+    if (cfg.iteration_mode == IterationMode::kPaperBound && i + 1 >= bound) break;
+  }
+  return m;
+}
+
+BoostResult boost_matching(const Graph& g, MatchingOracle& oracle,
+                           const CoreConfig& cfg) {
+  const std::int64_t calls_before = oracle.calls();
+  BoostResult result{framework_initial_matching(g, oracle, cfg), {}, {}, 0, 0};
+  result.initial_oracle_calls = oracle.calls() - calls_before;
+
+  FrameworkDriver driver(g, oracle, cfg);
+  PhaseEngine engine(g, cfg);
+  result.outcome = engine.run(result.matching, driver);
+  result.stats = driver.stats();
+  result.total_oracle_calls = oracle.calls() - calls_before;
+  return result;
+}
+
+}  // namespace bmf

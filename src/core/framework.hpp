@@ -1,0 +1,92 @@
+#pragma once
+
+/// The boosting framework for a graph oracle (Section 5, Theorem 1.1).
+///
+/// FrameworkDriver simulates Extend-Active-Path (Algorithm 5: l_max label
+/// stages, each a loop of A_matching calls on the bipartite stage graph H'_s
+/// of Definition 5.8) and Contract-and-Augment (Algorithm 4: local
+/// contraction to kill type-1 arcs, then a loop of A_matching calls on the
+/// structure graph H' of Definition 5.4). Per Remark 2, the Contract-and-
+/// Augment invocation at the end of Algorithm 5 is skipped; the phase engine
+/// runs it once per pass-bundle.
+///
+/// `boost_matching` is the Theorem 1.1 entry point: it computes a
+/// 4-approximate initial matching with O(c) oracle calls (Lemma 5.3) and then
+/// runs the phase engine with this driver.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/config.hpp"
+#include "core/oracle.hpp"
+#include "core/phase.hpp"
+#include "core/structures.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+struct FrameworkStats {
+  std::int64_t stage_loops = 0;       ///< (stage, pass-bundle) pairs simulated
+  std::int64_t stage_iterations = 0;  ///< oracle iterations inside Algorithm 5
+  std::int64_t ca_iterations = 0;     ///< oracle iterations inside Algorithm 4
+  std::int64_t truncated_loops = 0;   ///< loops cut by the paper's fixed bound
+};
+
+/// Observation hook for the Figure-3 benchmark: reports the size of the
+/// matching A_matching found in each simulation iteration together with the
+/// number of arcs in the derived graph.
+struct IterationObservation {
+  int stage = -1;  ///< label stage for Algorithm 5; -1 for Algorithm 4
+  std::int64_t h_vertices = 0;
+  std::int64_t h_edges = 0;
+  std::int64_t matched = 0;
+};
+using IterationObserver = std::function<void(const IterationObservation&)>;
+
+class FrameworkDriver final : public PassBundleDriver {
+ public:
+  FrameworkDriver(const Graph& g, MatchingOracle& oracle, const CoreConfig& cfg);
+
+  void extend_active_path(StructureForest& forest) override;
+  void contract_and_augment(StructureForest& forest) override;
+  [[nodiscard]] bool exhaustive() const override;
+
+  [[nodiscard]] const FrameworkStats& stats() const { return stats_; }
+  void set_observer(IterationObserver obs) { observer_ = std::move(obs); }
+
+ private:
+  /// One stage of Algorithm 5 (or the unsplit [FMU22]-style variant when
+  /// cfg.stage_split is false and stage < 0).
+  void run_stage(StructureForest& forest, int stage);
+  void run_augment_loop(StructureForest& forest);
+  void run_local_contractions(StructureForest& forest);
+
+  const Graph& g_;
+  MatchingOracle& oracle_;
+  const CoreConfig& cfg_;
+  FrameworkStats stats_;
+  IterationObserver observer_;
+};
+
+/// Lemma 5.3: a Theta(1)-approximate initial matching by repeatedly invoking
+/// A_matching on the subgraph induced by currently-free vertices.
+[[nodiscard]] Matching framework_initial_matching(const Graph& g,
+                                                  MatchingOracle& oracle,
+                                                  const CoreConfig& cfg);
+
+struct BoostResult {
+  Matching matching;
+  BoostOutcome outcome;
+  FrameworkStats stats;
+  std::int64_t initial_oracle_calls = 0;
+  std::int64_t total_oracle_calls = 0;
+};
+
+/// Theorem 1.1: a (1+eps)-approximate maximum matching of g using only
+/// invocations of the given Theta(1)-approximate oracle (plus the local
+/// structure processing the theorem charges to A_process).
+[[nodiscard]] BoostResult boost_matching(const Graph& g, MatchingOracle& oracle,
+                                         const CoreConfig& cfg);
+
+}  // namespace bmf

@@ -1,0 +1,57 @@
+#include "core/oracle.hpp"
+
+#include <numeric>
+
+#include "matching/blossom_exact.hpp"
+
+namespace bmf {
+
+OracleMatching greedy_oracle_matching(const OracleGraph& h) {
+  std::vector<std::int32_t> mate(static_cast<std::size_t>(h.n), -1);
+  OracleMatching out;
+  for (const auto& [u, v] : h.edges) {
+    if (u == v) continue;
+    if (mate[static_cast<std::size_t>(u)] == -1 &&
+        mate[static_cast<std::size_t>(v)] == -1) {
+      mate[static_cast<std::size_t>(u)] = v;
+      mate[static_cast<std::size_t>(v)] = u;
+      out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+OracleMatching GreedyMatchingOracle::find_impl(const OracleGraph& h) {
+  return greedy_oracle_matching(h);
+}
+
+OracleMatching RandomGreedyMatchingOracle::find_impl(const OracleGraph& h) {
+  std::vector<std::size_t> order(h.edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order);
+  std::vector<std::int32_t> mate(static_cast<std::size_t>(h.n), -1);
+  OracleMatching out;
+  for (std::size_t i : order) {
+    const auto& [u, v] = h.edges[i];
+    if (u == v) continue;
+    if (mate[static_cast<std::size_t>(u)] == -1 &&
+        mate[static_cast<std::size_t>(v)] == -1) {
+      mate[static_cast<std::size_t>(u)] = v;
+      mate[static_cast<std::size_t>(v)] = u;
+      out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+OracleMatching ExactMatchingOracle::find_impl(const OracleGraph& h) {
+  GraphBuilder b(h.n);
+  for (const auto& [u, v] : h.edges) b.add_edge(u, v);
+  const Graph g = b.build();
+  const Matching m = blossom_maximum_matching(g);
+  OracleMatching out;
+  for (const Edge& e : m.edge_list()) out.emplace_back(e.u, e.v);
+  return out;
+}
+
+}  // namespace bmf

@@ -1,0 +1,67 @@
+#pragma once
+
+/// The phase engine: Algorithm 1 (scales and phases) and Algorithm 2
+/// (Alg-Phase pass-bundle loop), with the two stream-dependent procedures —
+/// Extend-Active-Path and Contract-and-Augment — delegated to a pluggable
+/// PassBundleDriver. Drivers implement them by stream passes (src/stream),
+/// A_matching oracle calls (core/framework.hpp, Section 5) or A_weak vertex
+/// sampling (src/dynamic, Section 6).
+///
+/// Adaptive schedule: a phase ends as soon as a pass-bundle performs no
+/// operation (all later bundles of the phase are provably no-ops); a scale
+/// ends after `idle_phase_limit` consecutive augmentation-free phases; the
+/// whole run ends certified when an augmentation-free phase was quiescent,
+/// hold-free and exhaustively simulated (Theorem B.4: no augmenting path of
+/// length <= l_max remains, hence M is (1+eps)-approximate).
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/structures.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+class PassBundleDriver {
+ public:
+  virtual ~PassBundleDriver() = default;
+
+  /// Called once at the start of each phase, before any pass-bundle.
+  virtual void begin_phase(StructureForest& forest) { (void)forest; }
+
+  /// Simulates Extend-Active-Path for the current pass-bundle (Alg 2 line 10).
+  virtual void extend_active_path(StructureForest& forest) = 0;
+
+  /// Simulates Contract-and-Augment (Alg 2 line 11).
+  virtual void contract_and_augment(StructureForest& forest) = 0;
+
+  /// True if the driver's simulation loops ran to exhaustion so far (no
+  /// "contaminated" arcs were left behind by truncated oracle loops).
+  [[nodiscard]] virtual bool exhaustive() const = 0;
+};
+
+struct BoostOutcome {
+  std::int64_t scales = 0;
+  std::int64_t phases = 0;
+  std::int64_t pass_bundles = 0;
+  std::int64_t augmenting_paths = 0;
+  /// The run ended with a Theorem B.4 certificate: no augmenting path of
+  /// length <= 3/eps remains.
+  bool certified = false;
+  OpCounts ops;
+};
+
+class PhaseEngine {
+ public:
+  PhaseEngine(const Graph& g, const CoreConfig& cfg) : g_(g), cfg_(cfg) {}
+
+  /// Runs the scale/phase schedule, augmenting m in place.
+  BoostOutcome run(Matching& m, PassBundleDriver& driver) const;
+
+ private:
+  const Graph& g_;
+  const CoreConfig& cfg_;
+};
+
+}  // namespace bmf

@@ -1,0 +1,72 @@
+#include "dynamic/bipartite_cover.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+Graph build_bipartite_cover(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  GraphBuilder b(2 * n);
+  for (const Edge& e : g.edges()) {
+    b.add_edge(e.u, e.v + n);  // (u+, v-)
+    b.add_edge(e.v, e.u + n);  // (v+, u-)
+  }
+  return b.build();
+}
+
+std::vector<Edge> cover_matching_to_graph_matching(
+    Vertex n, const std::vector<Edge>& cover_matching) {
+  // X = the undirected G-edges behind the B-matching, deduplicated (the pairs
+  // (u+, v-) and (v+, u-) name the same G-edge). Each vertex appears at most
+  // once as a + copy and once as a - copy, so X has maximum degree 2.
+  std::vector<std::vector<Vertex>> adj(static_cast<std::size_t>(n));
+  auto has = [&](Vertex a, Vertex b) {
+    const auto& va = adj[static_cast<std::size_t>(a)];
+    return std::find(va.begin(), va.end(), b) != va.end();
+  };
+  for (const Edge& e : cover_matching) {
+    BMF_ASSERT(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n && e.u != e.v);
+    if (has(e.u, e.v)) continue;
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+    BMF_ASSERT(adj[static_cast<std::size_t>(e.u)].size() <= 2);
+    BMF_ASSERT(adj[static_cast<std::size_t>(e.v)].size() <= 2);
+  }
+
+  // Pick alternate edges along each path (starting from a degree-1 endpoint)
+  // and each cycle. This selects >= |X|/3 >= |M_B|/6 disjoint edges.
+  std::vector<Edge> out;
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(n), 0);
+  auto walk = [&](Vertex start) {
+    Vertex prev = kNoVertex;
+    Vertex cur = start;
+    bool take = true;
+    while (true) {
+      used[static_cast<std::size_t>(cur)] = 1;
+      Vertex next = kNoVertex;
+      for (Vertex w : adj[static_cast<std::size_t>(cur)])
+        if (w != prev && !used[static_cast<std::size_t>(w)]) {
+          next = w;
+          break;
+        }
+      if (next == kNoVertex) break;
+      if (take) out.push_back({cur, next});
+      take = !take;
+      prev = cur;
+      cur = next;
+    }
+  };
+  for (Vertex v = 0; v < n; ++v)
+    if (!used[static_cast<std::size_t>(v)] &&
+        adj[static_cast<std::size_t>(v)].size() == 1)
+      walk(v);
+  for (Vertex v = 0; v < n; ++v)
+    if (!used[static_cast<std::size_t>(v)] &&
+        !adj[static_cast<std::size_t>(v)].empty())
+      walk(v);  // remaining components are cycles
+  return out;
+}
+
+}  // namespace bmf

@@ -1,0 +1,33 @@
+#pragma once
+
+/// The bipartite double cover B of G (Definition 6.3) and the Lemma 7.8
+/// matching transfer.
+///
+/// B splits every vertex v into an outer copy v+ and an inner copy v-, with
+/// edges (u+, v-) and (v+, u-) for every {u,v} in E(G). The dynamic framework
+/// uses B to keep the weak oracle away from inner-inner arcs (Section 2); the
+/// OMv reduction of Section 7.4 uses it to turn general-graph queries into
+/// bipartite ones. Lemma 7.8: mu(G[S]) <= mu(B[S+ u S-]), and any B-matching
+/// transfers back to a G-matching at a factor-6 loss in O(n) time.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+/// Materializes B as a 2n-vertex graph: v+ = v, v- = v + n. (The dynamic
+/// algorithms never build this explicitly — they answer B-queries through
+/// G's adjacency — but tests and benchmarks use it as ground truth.)
+[[nodiscard]] Graph build_bipartite_cover(const Graph& g);
+
+/// Lemma 7.8: converts a matching of B — given as pairs (u, v) meaning the
+/// B-edge (u+, v-) — into a matching of G of size >= |M_B| / 6. The pairs
+/// form a graph of maximum degree 2 on V(G) (each vertex has one + copy and
+/// one - copy); picking alternate edges along its paths and cycles yields
+/// the result.
+[[nodiscard]] std::vector<Edge> cover_matching_to_graph_matching(
+    Vertex n, const std::vector<Edge>& cover_matching);
+
+}  // namespace bmf

@@ -1,0 +1,115 @@
+#include "dynamic/dynamic_matcher.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+DynamicMatcher::DynamicMatcher(Vertex n, WeakOracle& oracle,
+                               const DynamicMatcherConfig& cfg)
+    : g_(n), oracle_(oracle), cfg_(cfg), m_(n) {
+  BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "DynamicMatcher: eps out of range");
+  cfg_.sim.core.eps = cfg.eps / 2.0;
+  cfg_.sim.core.seed = cfg.seed;
+}
+
+void DynamicMatcher::try_match(Vertex v) {
+  if (!m_.is_free(v)) return;
+  for (Vertex w : g_.neighbors(v)) {
+    if (m_.is_free(w)) {
+      m_.add(v, w);
+      return;
+    }
+  }
+}
+
+void DynamicMatcher::on_structural_change(Vertex u, Vertex v, bool inserted) {
+  if (inserted) {
+    if (m_.is_free(u) && m_.is_free(v)) m_.add(u, v);
+  } else if (m_.has(u, v)) {
+    m_.remove_at(u);
+    try_match(u);
+    try_match(v);
+  }
+}
+
+void DynamicMatcher::insert(Vertex u, Vertex v) {
+  apply(EdgeUpdate::ins(u, v));
+}
+
+void DynamicMatcher::erase(Vertex u, Vertex v) {
+  apply(EdgeUpdate::del(u, v));
+}
+
+void DynamicMatcher::apply(const EdgeUpdate& update) {
+  ++updates_;
+  ++since_rebuild_;
+  if (!update.empty()) {
+    if (update.insert) {
+      if (g_.insert(update.u, update.v)) {
+        oracle_.on_insert(update.u, update.v);
+        on_structural_change(update.u, update.v, true);
+      }
+    } else {
+      if (g_.erase(update.u, update.v)) {
+        oracle_.on_erase(update.u, update.v);
+        on_structural_change(update.u, update.v, false);
+      }
+    }
+  }
+  maybe_rebuild();
+}
+
+void DynamicMatcher::maybe_rebuild() {
+  const std::int64_t budget =
+      cfg_.rebuild_every > 0
+          ? cfg_.rebuild_every
+          : std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       std::floor(cfg_.eps * static_cast<double>(m_.size()) / 4.0)));
+  if (since_rebuild_ < budget) return;
+  since_rebuild_ = 0;
+  ++rebuilds_;
+  const Graph snapshot = g_.snapshot();
+  WeakBoostResult boosted =
+      static_weak_boost(snapshot, m_, oracle_, cfg_.sim);
+  m_ = std::move(boosted.matching);
+}
+
+Problem1Instance::Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q,
+                                   double lambda, double delta, double alpha)
+    : g_(n),
+      oracle_(oracle),
+      q_(q),
+      delta_(delta),
+      chunk_size_(std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(alpha * static_cast<double>(n)))) {
+  BMF_REQUIRE(q >= 1, "Problem1Instance: q must be >= 1");
+  BMF_REQUIRE(lambda > 0 && lambda <= 1 && delta > 0 && delta < 1 && alpha > 0,
+              "Problem1Instance: parameters out of range");
+  BMF_REQUIRE(oracle.lambda() >= lambda,
+              "Problem1Instance: oracle lambda too weak for this instance");
+}
+
+void Problem1Instance::apply_chunk(std::span<const EdgeUpdate> chunk) {
+  BMF_REQUIRE(static_cast<std::int64_t>(chunk.size()) == chunk_size_,
+              "Problem1Instance: chunk must contain exactly alpha*n updates");
+  for (const EdgeUpdate& up : chunk) {
+    if (up.empty()) continue;
+    if (up.insert) {
+      if (g_.insert(up.u, up.v)) oracle_.on_insert(up.u, up.v);
+    } else {
+      if (g_.erase(up.u, up.v)) oracle_.on_erase(up.u, up.v);
+    }
+  }
+  queries_left_ = q_;
+}
+
+WeakQueryResult Problem1Instance::query(std::span<const Vertex> s) {
+  BMF_REQUIRE(queries_left_ > 0, "Problem1Instance: query budget exhausted");
+  --queries_left_;
+  return oracle_.query(s, delta_);
+}
+
+}  // namespace bmf

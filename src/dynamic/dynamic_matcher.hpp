@@ -1,0 +1,110 @@
+#pragma once
+
+/// Fully dynamic (1+eps)-approximate maximum matching (Theorem 7.1).
+///
+/// The reduction of [BKS23, BG24, AKK25] (Problem 1) schedules chunks of
+/// alpha*n updates followed by at most q adaptive A_weak queries; Theorem 7.1
+/// replaces the exponential-in-1/eps query budget with the poly(1/eps)
+/// Theorem 6.2 rebuild. DynamicMatcher implements that loop:
+///
+///  * between rebuilds it maintains a *maximal* matching under updates
+///    (insertion: match if both endpoints free; deletion of a matched edge:
+///    rematch both endpoints by a neighbor scan), so the answer never
+///    degrades below 2-approximate;
+///  * a matching that was (1+eps/2)-approximate stays (1+eps)-approximate for
+///    ~eps*|M|/4 further updates (each update moves mu and |M| by at most 1),
+///    so a Theorem 6.2 rebuild is triggered on that schedule — O(1/eps)
+///    rebuilds per Theta(n) updates, each costing poly(1/eps) A_weak calls.
+///
+/// Problem1Instance exposes the chunk/query interface verbatim for tests and
+/// for composing with other A_weak implementations (e.g. the OMv-backed one).
+
+#include <cstdint>
+
+#include "dynamic/static_weak.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "graph/dyn_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+struct EdgeUpdate {
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+  bool insert = true;
+  /// Problem 1 allows "empty updates" that change nothing but count toward
+  /// chunk accounting.
+  [[nodiscard]] bool empty() const { return u == kNoVertex; }
+
+  static EdgeUpdate ins(Vertex u, Vertex v) { return {u, v, true}; }
+  static EdgeUpdate del(Vertex u, Vertex v) { return {u, v, false}; }
+  static EdgeUpdate none() { return {}; }
+};
+
+struct DynamicMatcherConfig {
+  double eps = 0.25;
+  WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps is forced to eps/2)
+  /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
+  std::int64_t rebuild_every = 0;
+  std::uint64_t seed = 1;
+};
+
+class DynamicMatcher {
+ public:
+  /// The oracle must be empty-initialized for n vertices; the matcher feeds
+  /// it every update (Problem 1: the graph starts empty).
+  DynamicMatcher(Vertex n, WeakOracle& oracle, const DynamicMatcherConfig& cfg);
+
+  void insert(Vertex u, Vertex v);
+  void erase(Vertex u, Vertex v);
+  void apply(const EdgeUpdate& update);
+
+  [[nodiscard]] const Matching& matching() const { return m_; }
+  [[nodiscard]] const DynGraph& graph() const { return g_; }
+
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
+
+ private:
+  void on_structural_change(Vertex u, Vertex v, bool inserted);
+  void maybe_rebuild();
+  void try_match(Vertex v);
+
+  DynGraph g_;
+  WeakOracle& oracle_;
+  DynamicMatcherConfig cfg_;
+  Matching m_;
+  std::int64_t updates_ = 0;
+  std::int64_t since_rebuild_ = 0;
+  std::int64_t rebuilds_ = 0;
+};
+
+/// Problem 1 (Section 7.2), verbatim: chunks of exactly alpha*n updates, then
+/// up to q adaptive queries answered with the Definition 6.1 guarantee.
+class Problem1Instance {
+ public:
+  Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q, double lambda,
+                   double delta, double alpha);
+
+  /// Applies one chunk (must contain exactly chunk_size() updates, empty
+  /// updates allowed) and re-arms the query budget.
+  void apply_chunk(std::span<const EdgeUpdate> chunk);
+
+  /// One adaptive query; throws if the per-chunk budget q is exhausted.
+  [[nodiscard]] WeakQueryResult query(std::span<const Vertex> s);
+
+  [[nodiscard]] std::int64_t chunk_size() const { return chunk_size_; }
+  [[nodiscard]] std::int64_t queries_left() const { return queries_left_; }
+  [[nodiscard]] const DynGraph& graph() const { return g_; }
+
+ private:
+  DynGraph g_;
+  WeakOracle& oracle_;
+  std::int64_t q_;
+  double delta_;
+  std::int64_t chunk_size_;
+  std::int64_t queries_left_ = 0;
+};
+
+}  // namespace bmf

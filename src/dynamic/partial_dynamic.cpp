@@ -1,0 +1,23 @@
+#include "dynamic/partial_dynamic.hpp"
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+DecrementalMatcher::DecrementalMatcher(const Graph& initial, WeakOracle& oracle,
+                                       const DynamicMatcherConfig& cfg) {
+  matcher_ = std::make_unique<DynamicMatcher>(initial.num_vertices(), oracle, cfg);
+  // Load the host graph through the update interface so the oracle sees
+  // every edge; the matcher's own rebuild schedule boosts along the way and
+  // leaves a (1+eps)-approximate matching at handover.
+  for (const Edge& e : initial.edges()) matcher_->insert(e.u, e.v);
+  initial_updates_ = matcher_->updates();
+}
+
+void DecrementalMatcher::erase(Vertex u, Vertex v) {
+  BMF_REQUIRE(matcher_->graph().has_edge(u, v),
+              "DecrementalMatcher::erase: edge not present");
+  matcher_->erase(u, v);
+}
+
+}  // namespace bmf

@@ -1,0 +1,59 @@
+#pragma once
+
+/// Incremental-only and decremental-only matchers (Section 3.4 names these
+/// regimes; the fully dynamic machinery specializes to both).
+///
+/// IncrementalMatcher: edges only arrive. Between rebuilds a greedy maximal
+/// matching absorbs insertions at O(1) each; mu only grows, so the rebuild
+/// budget is charged against the measured growth — the [GLS+19]-flavored
+/// amortization with the Theorem 6.2 rebuild as the booster.
+///
+/// DecrementalMatcher: edges only leave. mu only shrinks, so a matching that
+/// was (1+eps/2)-approximate remains (1+eps)-approximate until eps*|M|/2
+/// matched edges have been deleted; unmatched deletions are free and the
+/// maximal floor is maintained by endpoint rescans.
+
+#include <memory>
+
+#include "dynamic/dynamic_matcher.hpp"
+
+namespace bmf {
+
+class IncrementalMatcher {
+ public:
+  IncrementalMatcher(Vertex n, WeakOracle& oracle, const DynamicMatcherConfig& cfg)
+      : inner_(n, oracle, cfg) {}
+
+  void insert(Vertex u, Vertex v) { inner_.insert(u, v); }
+
+  [[nodiscard]] const Matching& matching() const { return inner_.matching(); }
+  [[nodiscard]] const DynGraph& graph() const { return inner_.graph(); }
+  [[nodiscard]] std::int64_t rebuilds() const { return inner_.rebuilds(); }
+  [[nodiscard]] std::int64_t updates() const { return inner_.updates(); }
+
+ private:
+  DynamicMatcher inner_;
+};
+
+class DecrementalMatcher {
+ public:
+  /// Starts from a host graph whose edges will only be deleted. The initial
+  /// matching is boosted immediately so the deterioration budget starts full.
+  DecrementalMatcher(const Graph& initial, WeakOracle& oracle,
+                     const DynamicMatcherConfig& cfg);
+
+  void erase(Vertex u, Vertex v);
+
+  [[nodiscard]] const Matching& matching() const { return matcher_->matching(); }
+  [[nodiscard]] const DynGraph& graph() const { return matcher_->graph(); }
+  [[nodiscard]] std::int64_t rebuilds() const { return matcher_->rebuilds(); }
+  [[nodiscard]] std::int64_t updates() const {
+    return matcher_->updates() - initial_updates_;
+  }
+
+ private:
+  std::unique_ptr<DynamicMatcher> matcher_;
+  std::int64_t initial_updates_ = 0;
+};
+
+}  // namespace bmf

@@ -1,0 +1,127 @@
+#include "graph/bit_matrix.hpp"
+#include <algorithm>
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+BitVec::BitVec(std::int64_t n)
+    : n_(n), words_(static_cast<std::size_t>((n + 63) / 64), 0) {
+  BMF_REQUIRE(n >= 0, "BitVec: negative size");
+}
+
+void BitVec::set(std::int64_t i, bool value) {
+  BMF_ASSERT(i >= 0 && i < n_);
+  const auto w = static_cast<std::size_t>(i >> 6);
+  const std::uint64_t bit = 1ULL << (i & 63);
+  if (value)
+    words_[w] |= bit;
+  else
+    words_[w] &= ~bit;
+}
+
+bool BitVec::get(std::int64_t i) const {
+  BMF_ASSERT(i >= 0 && i < n_);
+  return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1ULL;
+}
+
+void BitVec::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::int64_t BitVec::popcount() const {
+  std::int64_t total = 0;
+  for (auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::int64_t BitVec::first_set() const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return static_cast<std::int64_t>(w) * 64 + std::countr_zero(words_[w]);
+  return -1;
+}
+
+std::int64_t BitVec::first_common(const BitVec& other) const {
+  BMF_ASSERT(n_ == other.n_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t x = words_[w] & other.words_[w];
+    if (x != 0) return static_cast<std::int64_t>(w) * 64 + std::countr_zero(x);
+  }
+  return -1;
+}
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_((cols + 63) / 64),
+      words_(static_cast<std::size_t>(rows * words_per_row_), 0) {
+  BMF_REQUIRE(rows >= 0 && cols >= 0, "BitMatrix: negative dimensions");
+}
+
+void BitMatrix::set(std::int64_t r, std::int64_t c, bool value) {
+  BMF_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const std::uint64_t bit = 1ULL << (c & 63);
+  if (value)
+    words_[idx(r, c >> 6)] |= bit;
+  else
+    words_[idx(r, c >> 6)] &= ~bit;
+}
+
+bool BitMatrix::get(std::int64_t r, std::int64_t c) const {
+  BMF_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return (words_[idx(r, c >> 6)] >> (c & 63)) & 1ULL;
+}
+
+void BitMatrix::multiply(const BitVec& v, BitVec& out) const {
+  BMF_REQUIRE(v.size() == cols_, "BitMatrix::multiply: vector size mismatch");
+  BMF_REQUIRE(out.size() == rows_, "BitMatrix::multiply: output size mismatch");
+  out.clear();
+  // Each iteration of the outer loop owns one full 64-bit word of `out`
+  // (rows [64b, 64b+64)), so the loop parallelizes without write conflicts.
+  const std::int64_t out_words = (rows_ + 63) / 64;
+#ifdef BMF_HAVE_OPENMP
+#pragma omp parallel for schedule(static) if (rows_ >= 2048)
+#endif
+  for (std::int64_t b = 0; b < out_words; ++b) {
+    std::uint64_t word = 0;
+    const std::int64_t row_end = std::min<std::int64_t>(rows_, (b + 1) * 64);
+    for (std::int64_t r = b * 64; r < row_end; ++r) {
+      std::uint64_t any = 0;
+      for (std::int64_t w = 0; w < words_per_row_; ++w) {
+        any |= words_[idx(r, w)] & v.word(w);
+        if (any) break;
+      }
+      if (any) word |= 1ULL << (r & 63);
+    }
+    out.word(b) = word;
+  }
+}
+
+std::int64_t BitMatrix::first_common_in_row(std::int64_t r, const BitVec& mask) const {
+  BMF_ASSERT(mask.size() == cols_);
+  for (std::int64_t w = 0; w < words_per_row_; ++w) {
+    const std::uint64_t x = words_[idx(r, w)] & mask.word(w);
+    if (x != 0) return w * 64 + std::countr_zero(x);
+  }
+  return -1;
+}
+
+std::int64_t BitMatrix::row_intersect_count(std::int64_t r, const BitVec& mask) const {
+  BMF_ASSERT(mask.size() == cols_);
+  std::int64_t total = 0;
+  for (std::int64_t w = 0; w < words_per_row_; ++w)
+    total += std::popcount(words_[idx(r, w)] & mask.word(w));
+  return total;
+}
+
+BitMatrix BitMatrix::from_graph(const Graph& g) {
+  BitMatrix m(g.num_vertices(), g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    m.set(e.u, e.v, true);
+    m.set(e.v, e.u, true);
+  }
+  return m;
+}
+
+}  // namespace bmf

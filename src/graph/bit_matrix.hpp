@@ -1,0 +1,87 @@
+#pragma once
+
+/// Boolean matrices and vectors packed 64 bits per word.
+///
+/// BitMatrix backs two substrates: the adjacency-matrix representation the
+/// dynamic framework assumes (Section 6.1: "the algorithm takes the adjacency
+/// matrix of G as input") and the dynamic OMv engine of Section 7.4.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bmf {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::int64_t n);
+
+  void set(std::int64_t i, bool value = true);
+  [[nodiscard]] bool get(std::int64_t i) const;
+  void clear();
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+  [[nodiscard]] std::int64_t popcount() const;
+
+  /// Index of the lowest set bit, or -1 if empty.
+  [[nodiscard]] std::int64_t first_set() const;
+
+  /// Index of the lowest bit set in both this and other, or -1.
+  [[nodiscard]] std::int64_t first_common(const BitVec& other) const;
+
+  [[nodiscard]] std::int64_t num_words() const {
+    return static_cast<std::int64_t>(words_.size());
+  }
+  [[nodiscard]] std::uint64_t word(std::int64_t w) const {
+    return words_[static_cast<std::size_t>(w)];
+  }
+  std::uint64_t& word(std::int64_t w) { return words_[static_cast<std::size_t>(w)]; }
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  /// rows x cols Boolean matrix, initially all-zero.
+  BitMatrix(std::int64_t rows, std::int64_t cols);
+
+  void set(std::int64_t r, std::int64_t c, bool value = true);
+  [[nodiscard]] bool get(std::int64_t r, std::int64_t c) const;
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+
+  /// Boolean matrix-vector product over the (OR, AND) semiring:
+  /// out[i] = OR_j (M[i][j] AND v[j]).  Cost O(rows * cols / 64).
+  void multiply(const BitVec& v, BitVec& out) const;
+
+  /// First column c in row r with M[r][c] AND mask[c], or -1.
+  [[nodiscard]] std::int64_t first_common_in_row(std::int64_t r, const BitVec& mask) const;
+
+  /// Number of columns c with M[r][c] AND mask[c].
+  [[nodiscard]] std::int64_t row_intersect_count(std::int64_t r, const BitVec& mask) const;
+
+  /// Raw 64-bit word w of row r (bit c-lo set iff M[r][64w + c-lo]).
+  [[nodiscard]] std::uint64_t row_word(std::int64_t r, std::int64_t w) const {
+    return words_[idx(r, w)];
+  }
+  [[nodiscard]] std::int64_t words_per_row() const { return words_per_row_; }
+
+  /// Loads the adjacency matrix of g (symmetric n x n).
+  static BitMatrix from_graph(const Graph& g);
+
+ private:
+  std::int64_t rows_ = 0, cols_ = 0, words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  [[nodiscard]] std::size_t idx(std::int64_t r, std::int64_t w) const {
+    return static_cast<std::size_t>(r * words_per_row_ + w);
+  }
+};
+
+}  // namespace bmf

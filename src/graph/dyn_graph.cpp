@@ -1,0 +1,43 @@
+#include "graph/dyn_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+DynGraph::DynGraph(Vertex num_vertices)
+    : n_(num_vertices), adj_(static_cast<std::size_t>(num_vertices)) {
+  BMF_REQUIRE(num_vertices >= 0, "DynGraph: negative vertex count");
+}
+
+bool DynGraph::insert(Vertex u, Vertex v) {
+  BMF_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v,
+              "DynGraph::insert: invalid edge");
+  if (!adj_[static_cast<std::size_t>(u)].insert(v).second) return false;
+  adj_[static_cast<std::size_t>(v)].insert(u);
+  ++m_;
+  return true;
+}
+
+bool DynGraph::erase(Vertex u, Vertex v) {
+  BMF_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v,
+              "DynGraph::erase: invalid edge");
+  if (adj_[static_cast<std::size_t>(u)].erase(v) == 0) return false;
+  adj_[static_cast<std::size_t>(v)].erase(u);
+  --m_;
+  return true;
+}
+
+bool DynGraph::has_edge(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_ || u == v) return false;
+  return adj_[static_cast<std::size_t>(u)].contains(v);
+}
+
+Graph DynGraph::snapshot() const {
+  GraphBuilder b(n_);
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : adj_[static_cast<std::size_t>(u)])
+      if (u < v) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace bmf

@@ -1,0 +1,51 @@
+#pragma once
+
+/// Fully dynamic undirected simple graph.
+///
+/// Supports edge insertion/deletion in O(1) expected time and neighbor
+/// iteration. This is the substrate under the dynamic matching algorithms
+/// (Section 7 of the paper): the graph "starts empty and never has more than
+/// m edges".
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bmf {
+
+class DynGraph {
+ public:
+  explicit DynGraph(Vertex num_vertices);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const { return m_; }
+
+  /// Inserts {u, v}; returns false if it already existed (no-op).
+  bool insert(Vertex u, Vertex v);
+
+  /// Deletes {u, v}; returns false if it was absent (no-op).
+  bool erase(Vertex u, Vertex v);
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::int64_t degree(Vertex v) const {
+    return static_cast<std::int64_t>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// Unordered neighbor set of v.
+  [[nodiscard]] const std::unordered_set<Vertex>& neighbors(Vertex v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Snapshot into a static CSR graph (used by rebuild steps and tests).
+  [[nodiscard]] Graph snapshot() const;
+
+ private:
+  Vertex n_;
+  std::int64_t m_ = 0;
+  std::vector<std::unordered_set<Vertex>> adj_;
+};
+
+}  // namespace bmf

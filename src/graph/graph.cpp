@@ -1,0 +1,77 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_ || u == v) return false;
+  auto nb = neighbors(u);
+  return std::find(nb.begin(), nb.end(), v) != nb.end();
+}
+
+std::int64_t Graph::max_degree() const {
+  std::int64_t d = 0;
+  for (Vertex v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+GraphBuilder::GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
+  BMF_REQUIRE(num_vertices >= 0, "GraphBuilder: negative vertex count");
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  BMF_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+              "GraphBuilder::add_edge: vertex out of range");
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v});
+}
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.n_ = n_;
+  g.edges_ = std::move(edges_);
+  edges_.clear();
+
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adj_.resize(static_cast<std::size_t>(2) * g.edges_.size());
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
+  return g;
+}
+
+Graph make_graph(Vertex num_vertices, std::span<const Edge> edges) {
+  GraphBuilder b(num_vertices);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const std::uint8_t> keep) {
+  BMF_REQUIRE(static_cast<Vertex>(keep.size()) == g.num_vertices(),
+              "induced_subgraph: keep mask size mismatch");
+  GraphBuilder b(g.num_vertices());
+  for (const Edge& e : g.edges())
+    if (keep[static_cast<std::size_t>(e.u)] && keep[static_cast<std::size_t>(e.v)])
+      b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+}  // namespace bmf

@@ -1,0 +1,94 @@
+#pragma once
+
+/// Static undirected simple graph in CSR (compressed sparse row) form.
+///
+/// This is the input representation for all static algorithms. Vertices are
+/// dense integers [0, n). Edges are undirected and stored once in `edges()`
+/// and twice in the adjacency structure. Graphs are immutable after
+/// construction; build them through GraphBuilder or the factory helpers in
+/// workloads/gen.hpp.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+using Vertex = std::int32_t;
+inline constexpr Vertex kNoVertex = -1;
+
+struct Edge {
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+
+  /// Neighbors of v, in insertion order.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    BMF_ASSERT(v >= 0 && v < n_);
+    return {adj_.data() + offsets_[static_cast<std::size_t>(v)],
+            adj_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  [[nodiscard]] std::int64_t degree(Vertex v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+  /// The undirected edge list; each edge appears once with u < v.
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Linear scan membership test (used only by tests and small graphs).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Maximum degree over all vertices.
+  [[nodiscard]] std::int64_t max_degree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  Vertex n_ = 0;
+  std::vector<std::int64_t> offsets_;  // size n+1
+  std::vector<Vertex> adj_;            // size 2m
+  std::vector<Edge> edges_;            // size m, canonical u < v
+};
+
+/// Accumulates edges, deduplicates, drops self-loops, then freezes into a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices);
+
+  /// Adds the undirected edge {u, v}. Self-loops are ignored; duplicates are
+  /// removed at build() time.
+  void add_edge(Vertex u, Vertex v);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+
+  /// Freezes the accumulated edges into a CSR graph. The builder is left empty.
+  [[nodiscard]] Graph build();
+
+ private:
+  Vertex n_;
+  std::vector<Edge> edges_;
+};
+
+/// Builds a graph directly from an edge list (convenience for tests).
+[[nodiscard]] Graph make_graph(Vertex num_vertices, std::span<const Edge> edges);
+
+/// The subgraph induced by `keep` (keep[v] != 0), preserving vertex ids.
+[[nodiscard]] Graph induced_subgraph(const Graph& g, std::span<const std::uint8_t> keep);
+
+}  // namespace bmf

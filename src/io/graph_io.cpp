@@ -1,0 +1,126 @@
+#include "io/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+struct ParsedEdges {
+  Vertex max_id = -1;
+  Vertex declared = -1;
+  std::vector<WeightedEdge> edges;
+};
+
+ParsedEdges parse_lines(std::istream& in, bool weighted) {
+  ParsedEdges out;
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line.substr(1));
+      std::string word;
+      if (hs >> word && word == "vertices") {
+        long long n = -1;
+        BMF_REQUIRE(static_cast<bool>(hs >> n) && n >= 0,
+                    "edge list: malformed '# vertices' header");
+        out.declared = static_cast<Vertex>(n);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    long long u = -1, v = -1;
+    double w = 1.0;
+    BMF_REQUIRE(static_cast<bool>(ls >> u >> v),
+                "edge list: malformed line " + std::to_string(line_no));
+    if (weighted) {
+      if (!(ls >> w)) w = 1.0;
+      BMF_REQUIRE(w > 0, "edge list: non-positive weight at line " +
+                             std::to_string(line_no));
+    }
+    BMF_REQUIRE(u >= 0 && v >= 0,
+                "edge list: negative vertex id at line " + std::to_string(line_no));
+    out.edges.push_back({static_cast<Vertex>(u), static_cast<Vertex>(v),
+                         static_cast<Weight>(w)});
+    out.max_id = std::max({out.max_id, static_cast<Vertex>(u), static_cast<Vertex>(v)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  const ParsedEdges parsed = parse_lines(in, /*weighted=*/false);
+  const Vertex n = std::max(parsed.declared, static_cast<Vertex>(parsed.max_id + 1));
+  GraphBuilder b(std::max<Vertex>(n, 0));
+  for (const WeightedEdge& e : parsed.edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  BMF_REQUIRE(in.good(), "cannot open file: " + path);
+  return read_edge_list(in);
+}
+
+WeightedGraph read_weighted_edge_list(std::istream& in) {
+  const ParsedEdges parsed = parse_lines(in, /*weighted=*/true);
+  WeightedGraph wg;
+  wg.n = std::max(parsed.declared, static_cast<Vertex>(parsed.max_id + 1));
+  wg.n = std::max<Vertex>(wg.n, 0);
+  for (const WeightedEdge& e : parsed.edges) {
+    BMF_REQUIRE(e.u != e.v, "edge list: self-loop");
+    wg.edges.push_back(e);
+  }
+  return wg;
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# vertices " << g.num_vertices() << "\n";
+  for (const Edge& e : g.edges()) out << e.u << " " << e.v << "\n";
+}
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  Vertex n = -1;
+  std::vector<Edge> edges;
+  std::int64_t declared_m = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string fmt;
+      long long nn = -1, mm = -1;
+      BMF_REQUIRE(static_cast<bool>(ls >> fmt >> nn >> mm) && nn >= 0 && mm >= 0,
+                  "dimacs: malformed problem line");
+      n = static_cast<Vertex>(nn);
+      declared_m = mm;
+    } else if (kind == 'e') {
+      long long u = 0, v = 0;
+      BMF_REQUIRE(static_cast<bool>(ls >> u >> v), "dimacs: malformed edge line");
+      BMF_REQUIRE(n >= 0, "dimacs: edge before problem line");
+      BMF_REQUIRE(u >= 1 && v >= 1 && u <= n && v <= n,
+                  "dimacs: vertex id out of range");
+      edges.push_back({static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1)});
+    }
+  }
+  BMF_REQUIRE(n >= 0, "dimacs: missing problem line");
+  if (declared_m >= 0)
+    BMF_REQUIRE(static_cast<std::int64_t>(edges.size()) == declared_m,
+                "dimacs: edge count mismatch");
+  return make_graph(n, edges);
+}
+
+void write_dimacs(std::ostream& out, const Graph& g) {
+  out << "c bmf graph\n";
+  out << "p edge " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) out << "e " << e.u + 1 << " " << e.v + 1 << "\n";
+}
+
+}  // namespace bmf

@@ -1,0 +1,33 @@
+#pragma once
+
+/// Graph file IO: whitespace edge lists and DIMACS.
+///
+/// Formats:
+///  * edge list — one `u v` (or `u v w` for weighted) pair per line, 0-based
+///    vertex ids; lines starting with '#' are comments. The vertex count is
+///    1 + the largest id unless a `# vertices N` header is present.
+///  * DIMACS — `c` comment lines, one `p edge N M` problem line, `e u v`
+///    edge lines with 1-based ids (the format used by matching solvers).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "weighted/weighted.hpp"
+
+namespace bmf {
+
+/// Parses an edge list; throws std::invalid_argument on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+/// Parses a weighted edge list (`u v w` per line; missing w defaults to 1).
+[[nodiscard]] WeightedGraph read_weighted_edge_list(std::istream& in);
+
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses DIMACS `p edge` format (1-based ids).
+[[nodiscard]] Graph read_dimacs(std::istream& in);
+void write_dimacs(std::ostream& out, const Graph& g);
+
+}  // namespace bmf

@@ -1,0 +1,54 @@
+#include "matching/augmenting.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "matching/blossom_exact.hpp"
+#include "util/assert.hpp"
+
+namespace bmf {
+
+std::int64_t bipartite_shortest_augmenting_path_length(
+    const Graph& g, std::span<const std::uint8_t> side, const Matching& m) {
+  BMF_REQUIRE(static_cast<Vertex>(side.size()) == g.num_vertices(),
+              "bipartite_shortest_augmenting_path_length: side size mismatch");
+  // Alternating BFS from all free left vertices: even levels are left
+  // vertices reached by matched edges (or free roots), odd levels are right
+  // vertices reached by unmatched edges. The first free right vertex found
+  // closes a shortest augmenting path.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(g.num_vertices()), kInf);
+  std::deque<Vertex> queue;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0 && m.is_free(v)) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      queue.push_back(v);
+    }
+  }
+  std::int64_t best = kInf;
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    const std::int64_t d = dist[static_cast<std::size_t>(v)];
+    if (d + 1 >= best) continue;
+    for (Vertex w : g.neighbors(v)) {
+      if (m.mate(v) == w) continue;  // leave along unmatched edges only
+      if (m.is_free(w)) {
+        best = std::min(best, d + 1);
+        continue;
+      }
+      const Vertex next = m.mate(w);
+      if (dist[static_cast<std::size_t>(next)] != kInf) continue;
+      dist[static_cast<std::size_t>(next)] = d + 2;
+      queue.push_back(next);
+    }
+  }
+  return best == kInf ? -1 : best;
+}
+
+std::int64_t augmenting_deficit(const Graph& g, const Matching& m) {
+  BMF_REQUIRE(m.is_valid_in(g), "augmenting_deficit: invalid matching");
+  return maximum_matching_size(g) - m.size();
+}
+
+}  // namespace bmf

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Augmenting-path diagnostics.
+///
+/// `bipartite_shortest_augmenting_path_length` computes the exact length of
+/// the shortest M-augmenting path of a bipartite graph (alternating BFS).
+/// Tests use it to *independently verify* the Theorem B.4 certificate: a
+/// certified run guarantees no augmenting path of length <= 3/eps, which this
+/// routine can check without trusting the framework's own bookkeeping.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+/// Length (edge count) of the shortest M-augmenting path, or -1 if none
+/// exists (M is maximum). Requires a valid two-coloring `side` of g.
+[[nodiscard]] std::int64_t bipartite_shortest_augmenting_path_length(
+    const Graph& g, std::span<const std::uint8_t> side, const Matching& m);
+
+/// Counts how many vertex-disjoint augmenting paths a maximum matching needs
+/// on top of m (== mu(G) - |M|); exact, any graph. Convenience for tests.
+[[nodiscard]] std::int64_t augmenting_deficit(const Graph& g, const Matching& m);
+
+}  // namespace bmf

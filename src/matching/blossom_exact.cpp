@@ -1,0 +1,147 @@
+#include "matching/blossom_exact.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+/// Alternating-forest search with blossom shrinking via base pointers.
+class BlossomSolver {
+ public:
+  explicit BlossomSolver(const Graph& g)
+      : g_(g),
+        n_(static_cast<std::size_t>(g.num_vertices())),
+        mate_(n_, kNoVertex),
+        parent_(n_, kNoVertex),
+        base_(n_),
+        used_(n_, 0),
+        in_blossom_(n_, 0) {}
+
+  void seed(const Matching& m) {
+    for (Vertex v = 0; v < g_.num_vertices(); ++v)
+      mate_[static_cast<std::size_t>(v)] = m.mate(v);
+  }
+
+  Matching solve() {
+    for (Vertex v = 0; v < g_.num_vertices(); ++v) {
+      if (mate_[static_cast<std::size_t>(v)] != kNoVertex) continue;
+      const Vertex tail = find_augmenting_path(v);
+      if (tail != kNoVertex) flip_path(tail);
+    }
+    Matching m(g_.num_vertices());
+    for (Vertex v = 0; v < g_.num_vertices(); ++v)
+      if (mate_[static_cast<std::size_t>(v)] > v)
+        m.add(v, mate_[static_cast<std::size_t>(v)]);
+    return m;
+  }
+
+ private:
+  Vertex lca(Vertex a, Vertex b) {
+    std::vector<std::uint8_t> seen(n_, 0);
+    for (Vertex x = a;;) {
+      x = base_[static_cast<std::size_t>(x)];
+      seen[static_cast<std::size_t>(x)] = 1;
+      if (mate_[static_cast<std::size_t>(x)] == kNoVertex) break;
+      x = parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(x)])];
+    }
+    for (Vertex y = b;;) {
+      y = base_[static_cast<std::size_t>(y)];
+      if (seen[static_cast<std::size_t>(y)]) return y;
+      y = parent_[static_cast<std::size_t>(mate_[static_cast<std::size_t>(y)])];
+    }
+  }
+
+  void mark_path(Vertex v, Vertex b, Vertex child) {
+    while (base_[static_cast<std::size_t>(v)] != b) {
+      const Vertex mv = mate_[static_cast<std::size_t>(v)];
+      in_blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(v)])] = 1;
+      in_blossom_[static_cast<std::size_t>(base_[static_cast<std::size_t>(mv)])] = 1;
+      parent_[static_cast<std::size_t>(v)] = child;
+      child = mv;
+      v = parent_[static_cast<std::size_t>(mv)];
+    }
+  }
+
+  Vertex find_augmenting_path(Vertex root) {
+    std::fill(used_.begin(), used_.end(), 0);
+    std::fill(parent_.begin(), parent_.end(), kNoVertex);
+    std::iota(base_.begin(), base_.end(), 0);
+    used_[static_cast<std::size_t>(root)] = 1;
+    std::deque<Vertex> queue{root};
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex to : g_.neighbors(v)) {
+        if (base_[static_cast<std::size_t>(v)] == base_[static_cast<std::size_t>(to)] ||
+            mate_[static_cast<std::size_t>(v)] == to)
+          continue;
+        if (to == root ||
+            (mate_[static_cast<std::size_t>(to)] != kNoVertex &&
+             parent_[static_cast<std::size_t>(
+                 mate_[static_cast<std::size_t>(to)])] != kNoVertex)) {
+          // Odd cycle through the forest: shrink the blossom.
+          const Vertex cur_base = lca(v, to);
+          std::fill(in_blossom_.begin(), in_blossom_.end(), 0);
+          mark_path(v, cur_base, to);
+          mark_path(to, cur_base, v);
+          for (std::size_t i = 0; i < n_; ++i) {
+            if (in_blossom_[static_cast<std::size_t>(base_[i])]) {
+              base_[i] = cur_base;
+              if (!used_[i]) {
+                used_[i] = 1;
+                queue.push_back(static_cast<Vertex>(i));
+              }
+            }
+          }
+        } else if (parent_[static_cast<std::size_t>(to)] == kNoVertex) {
+          parent_[static_cast<std::size_t>(to)] = v;
+          if (mate_[static_cast<std::size_t>(to)] == kNoVertex) return to;
+          const Vertex next = mate_[static_cast<std::size_t>(to)];
+          used_[static_cast<std::size_t>(next)] = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return kNoVertex;
+  }
+
+  void flip_path(Vertex v) {
+    while (v != kNoVertex) {
+      const Vertex pv = parent_[static_cast<std::size_t>(v)];
+      const Vertex next = mate_[static_cast<std::size_t>(pv)];
+      mate_[static_cast<std::size_t>(v)] = pv;
+      mate_[static_cast<std::size_t>(pv)] = v;
+      v = next;
+    }
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::vector<Vertex> mate_, parent_, base_;
+  std::vector<std::uint8_t> used_, in_blossom_;
+};
+
+}  // namespace
+
+Matching blossom_maximum_matching(const Graph& g) {
+  BlossomSolver solver(g);
+  return solver.solve();
+}
+
+Matching blossom_maximum_matching(const Graph& g, Matching initial) {
+  BMF_REQUIRE(initial.num_vertices() == g.num_vertices(),
+              "blossom_maximum_matching: matching size mismatch");
+  BlossomSolver solver(g);
+  solver.seed(initial);
+  return solver.solve();
+}
+
+std::int64_t maximum_matching_size(const Graph& g) {
+  return blossom_maximum_matching(g).size();
+}
+
+}  // namespace bmf

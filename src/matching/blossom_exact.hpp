@@ -1,0 +1,23 @@
+#pragma once
+
+/// Edmonds' blossom algorithm: exact maximum matching in general graphs.
+///
+/// Classic O(V^3) contraction-free formulation (base pointers + blossom
+/// marking). This is the ground-truth mu(G) used by every test and benchmark
+/// to validate (1+eps) guarantees; it is also the c = 1 oracle in ablations.
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+/// Exact maximum matching of g.
+[[nodiscard]] Matching blossom_maximum_matching(const Graph& g);
+
+/// Exact maximum matching starting from (and extending) `initial`.
+[[nodiscard]] Matching blossom_maximum_matching(const Graph& g, Matching initial);
+
+/// Exact maximum matching size.
+[[nodiscard]] std::int64_t maximum_matching_size(const Graph& g);
+
+}  // namespace bmf

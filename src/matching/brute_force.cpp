@@ -1,0 +1,37 @@
+#include "matching/brute_force.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+std::int64_t brute_force_matching_size(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  BMF_REQUIRE(n <= 24, "brute_force_matching_size: graph too large");
+  std::vector<std::uint32_t> nbr(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges()) {
+    nbr[static_cast<std::size_t>(e.u)] |= 1u << e.v;
+    nbr[static_cast<std::size_t>(e.v)] |= 1u << e.u;
+  }
+  const std::size_t full = std::size_t{1} << n;
+  std::vector<std::int8_t> best(full, 0);
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    const int v = std::countr_zero(mask);
+    const std::uint32_t rest = mask & (mask - 1);  // drop v
+    std::int8_t b = best[rest];                    // v stays unmatched
+    std::uint32_t cand = nbr[static_cast<std::size_t>(v)] & rest;
+    while (cand != 0) {
+      const int w = std::countr_zero(cand);
+      cand &= cand - 1;
+      const std::int8_t with =
+          static_cast<std::int8_t>(1 + best[rest & ~(1u << w)]);
+      if (with > b) b = with;
+    }
+    best[mask] = b;
+  }
+  return best[full - 1];
+}
+
+}  // namespace bmf

@@ -1,0 +1,14 @@
+#pragma once
+
+/// Exponential-time exact matching for tiny graphs (n <= 24).
+///
+/// Differential-testing reference for the blossom and Hopcroft-Karp solvers.
+
+#include "graph/graph.hpp"
+
+namespace bmf {
+
+/// Exact mu(G) by subset dynamic programming. Requires n <= 24.
+[[nodiscard]] std::int64_t brute_force_matching_size(const Graph& g);
+
+}  // namespace bmf

@@ -1,0 +1,39 @@
+#include "matching/greedy.hpp"
+
+#include <numeric>
+
+namespace bmf {
+
+Matching greedy_maximal_matching(const Graph& g) {
+  Matching m(g.num_vertices());
+  for (const Edge& e : g.edges())
+    if (m.is_free(e.u) && m.is_free(e.v)) m.add(e.u, e.v);
+  return m;
+}
+
+Matching random_greedy_matching(const Graph& g, Rng& rng) {
+  std::vector<std::int64_t> order(static_cast<std::size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Matching m(g.num_vertices());
+  const auto edges = g.edges();
+  for (std::int64_t i : order) {
+    const Edge& e = edges[static_cast<std::size_t>(i)];
+    if (m.is_free(e.u) && m.is_free(e.v)) m.add(e.u, e.v);
+  }
+  return m;
+}
+
+Matching greedy_maximal_matching_in(const Graph& g,
+                                    std::span<const std::uint8_t> allowed) {
+  Matching m(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    if (!allowed[static_cast<std::size_t>(e.u)] ||
+        !allowed[static_cast<std::size_t>(e.v)])
+      continue;
+    if (m.is_free(e.u) && m.is_free(e.v)) m.add(e.u, e.v);
+  }
+  return m;
+}
+
+}  // namespace bmf

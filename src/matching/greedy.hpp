@@ -1,0 +1,26 @@
+#pragma once
+
+/// Maximal matchings: deterministic greedy and random-order greedy.
+///
+/// A maximal matching is a 2-approximate maximum matching — the canonical
+/// Theta(1)-approximate oracle `A_matching` (Definition 5.1) the boosting
+/// framework consumes.
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+/// Greedy maximal matching scanning edges in stored order.
+[[nodiscard]] Matching greedy_maximal_matching(const Graph& g);
+
+/// Greedy maximal matching over a uniformly random edge permutation.
+[[nodiscard]] Matching random_greedy_matching(const Graph& g, Rng& rng);
+
+/// Greedy maximal matching restricted to edges whose endpoints are both
+/// allowed (allowed[v] != 0).
+[[nodiscard]] Matching greedy_maximal_matching_in(const Graph& g,
+                                                  std::span<const std::uint8_t> allowed);
+
+}  // namespace bmf

@@ -1,0 +1,120 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 2);  // 2 = unseen
+  std::deque<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (side[static_cast<std::size_t>(s)] != 2) continue;
+    side[static_cast<std::size_t>(s)] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex w : g.neighbors(v)) {
+        if (side[static_cast<std::size_t>(w)] == 2) {
+          side[static_cast<std::size_t>(w)] =
+              static_cast<std::uint8_t>(1 - side[static_cast<std::size_t>(v)]);
+          queue.push_back(w);
+        } else if (side[static_cast<std::size_t>(w)] ==
+                   side[static_cast<std::size_t>(v)]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+
+struct HkState {
+  const Graph& g;
+  std::span<const std::uint8_t> side;
+  std::vector<Vertex> mate;
+  std::vector<std::int32_t> dist;
+
+  bool bfs() {
+    std::deque<Vertex> queue;
+    bool found_free = false;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (side[static_cast<std::size_t>(v)] != 0) continue;
+      if (mate[static_cast<std::size_t>(v)] == kNoVertex) {
+        dist[static_cast<std::size_t>(v)] = 0;
+        queue.push_back(v);
+      } else {
+        dist[static_cast<std::size_t>(v)] = kInf;
+      }
+    }
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex w : g.neighbors(v)) {
+        const Vertex next = mate[static_cast<std::size_t>(w)];
+        if (next == kNoVertex) {
+          found_free = true;
+        } else if (dist[static_cast<std::size_t>(next)] == kInf) {
+          dist[static_cast<std::size_t>(next)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found_free;
+  }
+
+  bool dfs(Vertex v) {
+    for (Vertex w : g.neighbors(v)) {
+      const Vertex next = mate[static_cast<std::size_t>(w)];
+      if (next == kNoVertex ||
+          (dist[static_cast<std::size_t>(next)] ==
+               dist[static_cast<std::size_t>(v)] + 1 &&
+           dfs(next))) {
+        mate[static_cast<std::size_t>(v)] = w;
+        mate[static_cast<std::size_t>(w)] = v;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(v)] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const Graph& g, std::span<const std::uint8_t> side) {
+  BMF_REQUIRE(static_cast<Vertex>(side.size()) == g.num_vertices(),
+              "hopcroft_karp: side mask size mismatch");
+  HkState st{g, side,
+             std::vector<Vertex>(static_cast<std::size_t>(g.num_vertices()), kNoVertex),
+             std::vector<std::int32_t>(static_cast<std::size_t>(g.num_vertices()), 0)};
+  while (st.bfs()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      if (side[static_cast<std::size_t>(v)] == 0 &&
+          st.mate[static_cast<std::size_t>(v)] == kNoVertex)
+        st.dfs(v);
+  }
+  Matching m(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(v)] == 0 &&
+        st.mate[static_cast<std::size_t>(v)] != kNoVertex)
+      m.add(v, st.mate[static_cast<std::size_t>(v)]);
+  return m;
+}
+
+Matching hopcroft_karp(const Graph& g) {
+  auto side = bipartition(g);
+  BMF_REQUIRE(side.has_value(), "hopcroft_karp: graph is not bipartite");
+  return hopcroft_karp(g, *side);
+}
+
+}  // namespace bmf

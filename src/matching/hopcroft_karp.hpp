@@ -1,0 +1,27 @@
+#pragma once
+
+/// Hopcroft-Karp exact maximum matching for bipartite graphs.
+///
+/// Used as ground truth for bipartite instances (including the double cover B
+/// of Definition 6.3) and inside tests. O(E * sqrt(V)).
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+/// A two-coloring of g: side[v] in {0, 1} with every edge crossing sides,
+/// or nullopt if g is not bipartite.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+
+/// Exact maximum matching of a bipartite graph given its two-coloring.
+[[nodiscard]] Matching hopcroft_karp(const Graph& g,
+                                     std::span<const std::uint8_t> side);
+
+/// Convenience overload that computes the bipartition itself; throws
+/// std::invalid_argument if g is not bipartite.
+[[nodiscard]] Matching hopcroft_karp(const Graph& g);
+
+}  // namespace bmf

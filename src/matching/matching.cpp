@@ -1,0 +1,91 @@
+#include "matching/matching.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+Matching::Matching(Vertex num_vertices)
+    : mate_(static_cast<std::size_t>(num_vertices), kNoVertex) {
+  BMF_REQUIRE(num_vertices >= 0, "Matching: negative vertex count");
+}
+
+void Matching::add(Vertex u, Vertex v) {
+  BMF_ASSERT(u != v);
+  BMF_ASSERT(is_free(u) && is_free(v));
+  mate_[static_cast<std::size_t>(u)] = v;
+  mate_[static_cast<std::size_t>(v)] = u;
+  ++size_;
+}
+
+void Matching::remove_at(Vertex v) {
+  const Vertex u = mate(v);
+  if (u == kNoVertex) return;
+  mate_[static_cast<std::size_t>(u)] = kNoVertex;
+  mate_[static_cast<std::size_t>(v)] = kNoVertex;
+  --size_;
+}
+
+void Matching::augment(std::span<const Vertex> path) {
+  BMF_ASSERT(path.size() >= 2 && path.size() % 2 == 0);
+  BMF_ASSERT(is_free(path.front()) && is_free(path.back()));
+  // Remove the matched edges (odd positions pair (1,2), (3,4), ...).
+  for (std::size_t i = 1; i + 1 < path.size(); i += 2) {
+    BMF_ASSERT(mate(path[i]) == path[i + 1]);
+    remove_at(path[i]);
+  }
+  // Add the unmatched edges (positions (0,1), (2,3), ...).
+  for (std::size_t i = 0; i < path.size(); i += 2) add(path[i], path[i + 1]);
+}
+
+std::vector<Edge> Matching::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (mate(v) > v) out.push_back({v, mate(v)});
+  return out;
+}
+
+std::vector<Vertex> Matching::free_vertices() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < num_vertices(); ++v)
+    if (is_free(v)) out.push_back(v);
+  return out;
+}
+
+bool Matching::is_valid_in(const Graph& g) const {
+  if (num_vertices() != g.num_vertices()) return false;
+  std::int64_t count = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    const Vertex u = mate(v);
+    if (u == kNoVertex) continue;
+    if (u == v || mate(u) != v) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (u > v) ++count;
+  }
+  return count == size_;
+}
+
+bool Matching::is_maximal_in(const Graph& g) const {
+  for (const Edge& e : g.edges())
+    if (is_free(e.u) && is_free(e.v)) return false;
+  return true;
+}
+
+bool is_augmenting_path(const Graph& g, const Matching& m,
+                        std::span<const Vertex> path) {
+  if (path.size() < 2 || path.size() % 2 != 0) return false;
+  if (!m.is_free(path.front()) || !m.is_free(path.back())) return false;
+  std::unordered_set<Vertex> seen;
+  for (Vertex v : path)
+    if (!seen.insert(v).second) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!g.has_edge(path[i], path[i + 1])) return false;
+    const bool should_be_matched = (i % 2 == 1);
+    if (m.has(path[i], path[i + 1]) != should_be_matched) return false;
+  }
+  return true;
+}
+
+}  // namespace bmf

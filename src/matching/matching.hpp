@@ -1,0 +1,69 @@
+#pragma once
+
+/// Matchings represented as a mate array.
+///
+/// The paper works with the matching M as a mutable global (Section 3); this
+/// class is that object: O(1) matched-tests, O(1) add/remove, and path
+/// augmentation. Validity against a host graph is checked by `is_valid_in`.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace bmf {
+
+class Matching {
+ public:
+  Matching() = default;
+  explicit Matching(Vertex num_vertices);
+
+  [[nodiscard]] Vertex num_vertices() const {
+    return static_cast<Vertex>(mate_.size());
+  }
+  [[nodiscard]] std::int64_t size() const { return size_; }
+
+  /// Mate of v, or kNoVertex if v is free.
+  [[nodiscard]] Vertex mate(Vertex v) const {
+    return mate_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool is_free(Vertex v) const { return mate(v) == kNoVertex; }
+  [[nodiscard]] bool has(Vertex u, Vertex v) const {
+    return u != v && mate(u) == v;
+  }
+
+  /// Adds {u, v}; both endpoints must currently be free.
+  void add(Vertex u, Vertex v);
+
+  /// Removes the matched edge at v (no-op if v is free).
+  void remove_at(Vertex v);
+
+  /// Flips matched/unmatched along an augmenting path given as a vertex
+  /// sequence v0, v1, ..., v{2k+1} with v0 and v_last free and edges
+  /// alternating unmatched/matched/.../unmatched. Increases size() by one.
+  void augment(std::span<const Vertex> path);
+
+  /// The matched edges, each once with u < v.
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+  /// All free vertices in increasing order.
+  [[nodiscard]] std::vector<Vertex> free_vertices() const;
+
+  /// True if the mate array is symmetric and every matched edge exists in g.
+  [[nodiscard]] bool is_valid_in(const Graph& g) const;
+
+  /// True if no edge of g joins two free vertices (i.e. M is maximal).
+  [[nodiscard]] bool is_maximal_in(const Graph& g) const;
+
+ private:
+  std::vector<Vertex> mate_;
+  std::int64_t size_ = 0;
+};
+
+/// True if `path` is an M-augmenting path in g: endpoints free, edges exist,
+/// edges alternate starting and ending unmatched, vertices distinct.
+[[nodiscard]] bool is_augmenting_path(const Graph& g, const Matching& m,
+                                      std::span<const Vertex> path);
+
+}  // namespace bmf

@@ -1,0 +1,49 @@
+#include "mpc/cluster.hpp"
+
+namespace bmf::mpc {
+
+Cluster::Cluster(const MpcConfig& cfg) : cfg_(cfg) {
+  BMF_REQUIRE(cfg.machines >= 1, "Cluster: need at least one machine");
+  inboxes_.assign(static_cast<std::size_t>(cfg.machines), {});
+}
+
+int Cluster::owner(std::uint64_t key) const {
+  // SplitMix64 finalizer as the partitioning hash.
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(cfg_.machines));
+}
+
+void Cluster::superstep(
+    const std::function<void(int machine, const Inbox&, const Sender&)>& step) {
+  std::vector<Inbox> next(static_cast<std::size_t>(cfg_.machines));
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(cfg_.machines), 0);
+  for (int m = 0; m < cfg_.machines; ++m) {
+    const Sender send = [&](int dest, Msg msg) {
+      BMF_ASSERT(dest >= 0 && dest < cfg_.machines);
+      next[static_cast<std::size_t>(dest)].push_back(msg);
+      sent[static_cast<std::size_t>(m)] += kWordsPerMsg;
+      ++messages_;
+    };
+    step(m, inboxes_[static_cast<std::size_t>(m)], send);
+  }
+  for (int m = 0; m < cfg_.machines; ++m) {
+    const std::int64_t load =
+        sent[static_cast<std::size_t>(m)] +
+        static_cast<std::int64_t>(next[static_cast<std::size_t>(m)].size()) *
+            kWordsPerMsg;
+    max_load_ = std::max(max_load_, load);
+    if (cfg_.memory_words > 0 && load > cfg_.memory_words) ++violations_;
+  }
+  inboxes_ = std::move(next);
+  ++rounds_;
+}
+
+void Cluster::note_resident_words(int machine, std::int64_t words) {
+  (void)machine;
+  if (cfg_.memory_words > 0 && words > cfg_.memory_words) ++violations_;
+}
+
+}  // namespace bmf::mpc

@@ -1,0 +1,15 @@
+#include "mpc/mpc_boost.hpp"
+
+namespace bmf::mpc {
+
+MpcBoostResult mpc_boost_matching(const Graph& g, const MpcConfig& mpc_cfg,
+                                  const CoreConfig& cfg) {
+  MpcMatchingOracle oracle(mpc_cfg, cfg.seed);
+  MpcBoostResult result;
+  result.boost = boost_matching(g, oracle, cfg);
+  result.oracle_rounds = oracle.rounds();
+  result.process_rounds = kProcessRoundsPerBundle * result.boost.outcome.pass_bundles;
+  return result;
+}
+
+}  // namespace bmf::mpc

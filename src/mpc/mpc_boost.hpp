@@ -1,0 +1,33 @@
+#pragma once
+
+/// Corollary A.1: (1+eps)-approximate maximum matching in MPC.
+///
+/// Runs the boosting framework with the cluster-backed A_matching oracle and
+/// charges A_process at O(1) rounds per pass-bundle (structures have
+/// poly(1/eps) vertices and fit into machine memory, so the clean-up
+/// operations — extending alternating paths, contracting blossoms, removing
+/// vertices, propagating component information — take O(1) MPC rounds each;
+/// see [ASS+18] and Appendix A).
+
+#include "core/framework.hpp"
+#include "mpc/mpc_matching.hpp"
+
+namespace bmf::mpc {
+
+struct MpcBoostResult {
+  BoostResult boost;
+  std::int64_t oracle_rounds = 0;   ///< simulated rounds inside A_matching
+  std::int64_t process_rounds = 0;  ///< rounds charged to A_process
+  [[nodiscard]] std::int64_t total_rounds() const {
+    return oracle_rounds + process_rounds;
+  }
+};
+
+/// Rounds charged to A_process per pass-bundle (a small constant).
+inline constexpr std::int64_t kProcessRoundsPerBundle = 2;
+
+[[nodiscard]] MpcBoostResult mpc_boost_matching(const Graph& g,
+                                                const MpcConfig& mpc_cfg,
+                                                const CoreConfig& cfg);
+
+}  // namespace bmf::mpc

@@ -1,0 +1,163 @@
+#include "mpc/mpc_matching.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace bmf::mpc {
+namespace {
+
+// Message tags.
+enum Tag : std::uint64_t {
+  kVertexMin = 1,   // (vertex, priority)
+  kMinReply = 2,    // (vertex, priority)
+  kEdgeWon = 3,     // (u, v)
+  kVertexDead = 4,  // (vertex, _)
+};
+
+struct LocalEdge {
+  std::int32_t u, v;
+  std::uint64_t priority;
+  bool live = true;
+};
+
+}  // namespace
+
+MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
+                                       Rng& rng) {
+  const std::int64_t rounds_before = cluster.rounds();
+  const int machines = cluster.machines();
+
+  // Input distribution: edges hash-partitioned by (u, v); each machine also
+  // owns the state of vertices hashed to it. This mirrors "vertices and edges
+  // of the input graph are distributed across the machines".
+  std::vector<std::vector<LocalEdge>> local(static_cast<std::size_t>(machines));
+  for (const auto& [u, v] : h.edges) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+        static_cast<std::uint32_t>(v);
+    local[static_cast<std::size_t>(cluster.owner(key))].push_back(
+        {u, v, rng.next(), true});
+  }
+  for (int m = 0; m < machines; ++m)
+    cluster.note_resident_words(
+        m, static_cast<std::int64_t>(local[static_cast<std::size_t>(m)].size()) * 4);
+
+  // Vertex-owner state: dead flags live on the owner machine of each vertex.
+  std::vector<std::unordered_map<std::int32_t, bool>> dead(
+      static_cast<std::size_t>(machines));
+  auto vowner = [&](std::int32_t v) {
+    return cluster.owner(static_cast<std::uint64_t>(v) | (1ULL << 40));
+  };
+
+  OracleMatching matched;
+  std::int64_t iterations = 0;
+  bool progress = true;
+  std::int64_t live_total = static_cast<std::int64_t>(h.edges.size());
+
+  while (live_total > 0 && progress) {
+    ++iterations;
+    progress = false;
+
+    // Superstep 1: per-vertex minimum priority over live edges.
+    std::vector<std::unordered_map<std::int32_t, std::uint64_t>> vmin(
+        static_cast<std::size_t>(machines));
+    cluster.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
+      std::unordered_map<std::int32_t, std::uint64_t> partial;
+      for (const LocalEdge& e : local[static_cast<std::size_t>(m)]) {
+        if (!e.live) continue;
+        for (std::int32_t x : {e.u, e.v}) {
+          auto [it, fresh] = partial.emplace(x, e.priority);
+          if (!fresh && e.priority < it->second) it->second = e.priority;
+        }
+      }
+      for (const auto& [x, p] : partial) {
+        send(vowner(x),
+             {kVertexMin, static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)), p});
+      }
+    });
+    cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender&) {
+      for (const Msg& msg : inbox) {
+        BMF_ASSERT(msg.tag == kVertexMin);
+        const auto x = static_cast<std::int32_t>(msg.a);
+        auto [it, fresh] = vmin[static_cast<std::size_t>(m)].emplace(x, msg.b);
+        if (!fresh && msg.b < it->second) it->second = msg.b;
+      }
+    });
+
+    // Superstep 2: owners reply with the per-vertex minima to all machines
+    // (clique topology; a machine holding any edge of x needs min(x)).
+    std::vector<std::unordered_map<std::int32_t, std::uint64_t>> got_min(
+        static_cast<std::size_t>(machines));
+    cluster.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
+      for (const auto& [x, p] : vmin[static_cast<std::size_t>(m)])
+        for (int dest = 0; dest < machines; ++dest)
+          send(dest, {kMinReply,
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)), p});
+    });
+    cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender&) {
+      for (const Msg& msg : inbox)
+        got_min[static_cast<std::size_t>(m)].emplace(static_cast<std::int32_t>(msg.a),
+                                                     msg.b);
+    });
+
+    // Superstep 3: an edge that is the minimum at both endpoints wins; notify
+    // the vertex owners so they mark both endpoints dead.
+    std::vector<std::pair<std::int32_t, std::int32_t>> winners_this_round;
+    cluster.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
+      const auto& mins = got_min[static_cast<std::size_t>(m)];
+      for (const LocalEdge& e : local[static_cast<std::size_t>(m)]) {
+        if (!e.live) continue;
+        const auto iu = mins.find(e.u);
+        const auto iv = mins.find(e.v);
+        if (iu != mins.end() && iv != mins.end() && iu->second == e.priority &&
+            iv->second == e.priority) {
+          send(vowner(e.u),
+               {kEdgeWon, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)),
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.v))});
+          send(vowner(e.v),
+               {kEdgeWon, static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.v)),
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u))});
+        }
+      }
+    });
+    cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender& send) {
+      for (const Msg& msg : inbox) {
+        const auto x = static_cast<std::int32_t>(msg.a);
+        const auto y = static_cast<std::int32_t>(msg.b);
+        if (!dead[static_cast<std::size_t>(m)][x]) {
+          dead[static_cast<std::size_t>(m)][x] = true;
+          if (x < y) winners_this_round.emplace_back(x, y);
+          // Broadcast the death to edge holders.
+          for (int dest = 0; dest < machines; ++dest)
+            send(dest, {kVertexDead,
+                        static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)), 0});
+        }
+      }
+    });
+
+    // Superstep 4: drop edges incident to dead vertices.
+    cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender&) {
+      std::unordered_map<std::int32_t, bool> died;
+      for (const Msg& msg : inbox)
+        if (msg.tag == kVertexDead) died[static_cast<std::int32_t>(msg.a)] = true;
+      for (LocalEdge& e : local[static_cast<std::size_t>(m)]) {
+        if (e.live && (died.count(e.u) || died.count(e.v))) {
+          e.live = false;
+          --live_total;
+          progress = true;
+        }
+      }
+    });
+
+    for (const auto& w : winners_this_round) {
+      matched.emplace_back(w.first, w.second);
+      progress = true;
+    }
+  }
+
+  return {std::move(matched), cluster.rounds() - rounds_before, iterations};
+}
+
+}  // namespace bmf::mpc

@@ -1,0 +1,60 @@
+#pragma once
+
+/// Distributed maximal matching in the MPC simulator.
+///
+/// Random-edge-priority greedy: an edge joins the matching when it carries the
+/// locally minimal priority at both endpoints among live edges; matched
+/// vertices die, and the process repeats. This is the classic O(log m)-round
+/// w.h.p. parallel greedy (Blelloch–Fineman–Shun style), a maximal — hence
+/// 2-approximate — matching, standing in for [GU19]'s O(sqrt(log n))-round
+/// algorithm as the framework's A_matching (the substitution is documented in
+/// DESIGN.md; the framework only consumes a Theta(1)-approximation).
+///
+/// Message pattern per iteration (4 supersteps):
+///   1. edge holders -> vertex owners: per-vertex minimum live priority,
+///   2. vertex owners -> edge holders: the per-vertex minima,
+///   3. edge holders -> vertex owners: "edge e won at both endpoints",
+///   4. vertex owners -> edge holders: matched-vertex notifications.
+
+#include <cstdint>
+
+#include "core/oracle.hpp"
+#include "mpc/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace bmf::mpc {
+
+struct MpcMatchingResult {
+  OracleMatching matching;
+  std::int64_t rounds = 0;      ///< supersteps consumed by this invocation
+  std::int64_t iterations = 0;  ///< priority-peeling iterations
+};
+
+/// Runs distributed maximal matching on h, with edges hash-partitioned across
+/// the cluster's machines. The cluster's round counter advances accordingly.
+[[nodiscard]] MpcMatchingResult mpc_maximal_matching(Cluster& cluster,
+                                                     const OracleGraph& h,
+                                                     Rng& rng);
+
+/// A_matching backed by the MPC simulator (c = 2). Tracks the cumulative
+/// number of simulated MPC rounds across invocations.
+class MpcMatchingOracle final : public MatchingOracle {
+ public:
+  MpcMatchingOracle(const MpcConfig& cfg, std::uint64_t seed)
+      : cluster_(cfg), rng_(seed) {}
+
+  [[nodiscard]] double approx_factor() const override { return 2.0; }
+  [[nodiscard]] std::int64_t rounds() const { return cluster_.rounds(); }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+ protected:
+  OracleMatching find_impl(const OracleGraph& h) override {
+    return mpc_maximal_matching(cluster_, h, rng_).matching;
+  }
+
+ private:
+  Cluster cluster_;
+  Rng rng_;
+};
+
+}  // namespace bmf::mpc

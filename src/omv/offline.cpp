@@ -1,0 +1,149 @@
+#include "omv/offline.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+OfflineWeakOracle::OfflineWeakOracle(Vertex n)
+    : n_(n),
+      words_per_row_((static_cast<std::int64_t>(n) + 63) / 64),
+      base_(n, n),
+      toggles_(static_cast<std::size_t>(n)) {}
+
+bool OfflineWeakOracle::has_edge(Vertex u, Vertex v) const {
+  bool val = base_.get(u, v);
+  const auto& row = toggles_[static_cast<std::size_t>(u)];
+  const auto it = row.find(v >> 6);
+  if (it != row.end() && ((it->second >> (v & 63)) & 1ULL)) val = !val;
+  return val;
+}
+
+void OfflineWeakOracle::toggle_half(Vertex u, Vertex v) {
+  auto& row = toggles_[static_cast<std::size_t>(u)];
+  auto [it, fresh] = row.emplace(v >> 6, 0);
+  it->second ^= 1ULL << (v & 63);
+  if (it->second == 0) row.erase(it);
+}
+
+void OfflineWeakOracle::set_edge(Vertex u, Vertex v, bool present) {
+  if (has_edge(u, v) == present) return;
+  toggle_half(u, v);
+  toggle_half(v, u);
+  ++diff_count_;  // toggles applied since the last rebase
+}
+
+void OfflineWeakOracle::rebase() {
+  for (Vertex u = 0; u < n_; ++u) {
+    auto& row = toggles_[static_cast<std::size_t>(u)];
+    for (const auto& [w, bits] : row) {
+      for (int b = 0; b < 64; ++b) {
+        if ((bits >> b) & 1ULL) {
+          const auto col = static_cast<std::int64_t>(w) * 64 + b;
+          base_.set(u, col, !base_.get(u, col));
+        }
+      }
+    }
+    row.clear();
+  }
+  // Materializing the base touches the whole matrix once.
+  words_touched_ += static_cast<std::int64_t>(n_) * words_per_row_;
+  diff_count_ = 0;
+  ++rebases_;
+}
+
+std::int64_t OfflineWeakOracle::patched_probe(Vertex u, const BitVec& mask) {
+  const auto& row = toggles_[static_cast<std::size_t>(u)];
+  for (std::int64_t w = 0; w < words_per_row_; ++w) {
+    // Effective row word = base XOR per-row toggles (Lemma 7.13 patching).
+    std::uint64_t word = base_.row_word(u, w);
+    const auto it = row.find(w);
+    if (it != row.end()) word ^= it->second;
+    word &= mask.word(w);
+    ++words_touched_;
+    if (word != 0) return w * 64 + std::countr_zero(word);
+  }
+  return -1;
+}
+
+WeakQueryResult OfflineWeakOracle::query_impl(std::span<const Vertex> s,
+                                              double delta) {
+  BitVec avail(n_);
+  for (Vertex v : s) avail.set(v);
+  WeakQueryResult out;
+  for (Vertex u : s) {
+    if (!avail.get(u)) continue;
+    const std::int64_t v = patched_probe(u, avail);
+    if (v >= 0) {
+      out.matching.push_back({u, static_cast<Vertex>(v)});
+      avail.set(u, false);
+      avail.set(v, false);
+    }
+  }
+  out.bottom = static_cast<double>(out.matching.size()) <
+               lambda() * delta * static_cast<double>(n_);
+  return out;
+}
+
+WeakQueryResult OfflineWeakOracle::query_cover_impl(
+    std::span<const Vertex> s_plus, std::span<const Vertex> s_minus,
+    double delta) {
+  BitVec avail(n_);
+  for (Vertex v : s_minus) avail.set(v);
+  WeakQueryResult out;
+  for (Vertex u : s_plus) {
+    const std::int64_t v = patched_probe(u, avail);
+    if (v >= 0) {
+      out.matching.push_back({u, static_cast<Vertex>(v)});
+      avail.set(v, false);
+    }
+  }
+  out.bottom = static_cast<double>(out.matching.size()) <
+               lambda() * delta * static_cast<double>(n_);
+  return out;
+}
+
+OfflineDynamicResult offline_dynamic_matching(Vertex n,
+                                              std::span<const EdgeUpdate> updates,
+                                              std::int64_t chunk,
+                                              std::int64_t t_block,
+                                              const WeakSimConfig& sim) {
+  BMF_REQUIRE(chunk >= 1 && t_block >= 1, "offline_dynamic_matching: bad blocks");
+  OfflineWeakOracle oracle(n);
+  DynGraph g(n);
+  Matching m(n);
+  OfflineDynamicResult result;
+
+  std::int64_t in_chunk = 0;
+  std::int64_t chunks_done = 0;
+  for (const EdgeUpdate& up : updates) {
+    if (!up.empty()) {
+      if (up.insert) {
+        if (g.insert(up.u, up.v)) {
+          oracle.on_insert(up.u, up.v);
+          if (m.is_free(up.u) && m.is_free(up.v)) m.add(up.u, up.v);
+        }
+      } else {
+        if (g.erase(up.u, up.v)) {
+          oracle.on_erase(up.u, up.v);
+          if (m.has(up.u, up.v)) m.remove_at(up.u);
+        }
+      }
+    }
+    if (++in_chunk < chunk) continue;
+    in_chunk = 0;
+    ++chunks_done;
+    const Graph snapshot = g.snapshot();
+    WeakBoostResult boosted = static_weak_boost(snapshot, m, oracle, sim);
+    m = std::move(boosted.matching);
+    result.matching_sizes.push_back(m.size());
+    if (chunks_done % t_block == 0) oracle.rebase();
+  }
+  result.weak_calls = oracle.calls();
+  result.words_touched = oracle.words_touched();
+  result.rebases = oracle.rebases();
+  return result;
+}
+
+}  // namespace bmf

@@ -1,0 +1,80 @@
+#pragma once
+
+/// Offline dynamic matching support (Section 7.4.3, Lemmas 7.13/7.14 and
+/// Theorem 7.15).
+///
+/// In the offline problem the whole update sequence is known in advance, so
+/// versions G_1..G_t within a block share one materialized base matrix and
+/// differ from it by at most Gamma toggled edges; queries against version i
+/// are answered from base rows patched with the per-version diff — the
+/// Lemma 7.13 sharing. OfflineWeakOracle is that machine as an A_weak
+/// implementation; offline_dynamic_matching drives Theorem 7.15's blocked
+/// schedule: the base is re-materialized every t_block chunks, so per-row
+/// patch work stays O(Gamma) while full-matrix rebuilds amortize across the
+/// block (the t / D trade of [Liu24], with the bit-parallel engine standing
+/// in for the galactic OMv algorithm — substitution OMV-SUB in DESIGN.md).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "graph/bit_matrix.hpp"
+
+namespace bmf {
+
+class OfflineWeakOracle final : public WeakOracle {
+ public:
+  explicit OfflineWeakOracle(Vertex n);
+
+  [[nodiscard]] double lambda() const override { return 0.5; }
+  void on_insert(Vertex u, Vertex v) override { set_edge(u, v, true); }
+  void on_erase(Vertex u, Vertex v) override { set_edge(u, v, false); }
+
+  /// Folds all pending toggles into the base matrix (block boundary).
+  void rebase();
+
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  [[nodiscard]] std::int64_t diff_size() const { return diff_count_; }
+  [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
+  [[nodiscard]] std::int64_t rebases() const { return rebases_; }
+
+ protected:
+  WeakQueryResult query_impl(std::span<const Vertex> s, double delta) override;
+  WeakQueryResult query_cover_impl(std::span<const Vertex> s_plus,
+                                   std::span<const Vertex> s_minus,
+                                   double delta) override;
+
+ private:
+  void set_edge(Vertex u, Vertex v, bool present);
+  void toggle_half(Vertex u, Vertex v);
+  /// First column in (base row XOR toggles) AND mask, or -1.
+  [[nodiscard]] std::int64_t patched_probe(Vertex u, const BitVec& mask);
+
+  Vertex n_;
+  std::int64_t words_per_row_;
+  BitMatrix base_;
+  /// Per-row toggle words relative to base (word index -> xor mask).
+  std::vector<std::unordered_map<std::int64_t, std::uint64_t>> toggles_;
+  std::int64_t diff_count_ = 0;
+  std::int64_t words_touched_ = 0;
+  std::int64_t rebases_ = 0;
+};
+
+struct OfflineDynamicResult {
+  /// |M| after each chunk of updates.
+  std::vector<std::int64_t> matching_sizes;
+  std::int64_t weak_calls = 0;
+  std::int64_t words_touched = 0;
+  std::int64_t rebases = 0;
+};
+
+/// Theorem 7.15 driver: processes the known update sequence in chunks of
+/// `chunk` updates, boosting with Theorem 6.2 after each chunk; the shared
+/// base is re-materialized every `t_block` chunks.
+[[nodiscard]] OfflineDynamicResult offline_dynamic_matching(
+    Vertex n, std::span<const EdgeUpdate> updates, std::int64_t chunk,
+    std::int64_t t_block, const WeakSimConfig& sim);
+
+}  // namespace bmf

@@ -1,0 +1,27 @@
+#include "omv/omv.hpp"
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+DynamicOMv::DynamicOMv(std::int64_t n) : n_(n), m_(n, n) {
+  BMF_REQUIRE(n >= 0, "DynamicOMv: negative dimension");
+}
+
+void DynamicOMv::update(std::int64_t i, std::int64_t j, bool b) {
+  m_.set(i, j, b);
+  ++updates_;
+}
+
+void DynamicOMv::query(const BitVec& v, BitVec& out) {
+  m_.multiply(v, out);
+  ++queries_;
+  words_touched_ += n_ * ((n_ + 63) / 64);
+}
+
+std::int64_t DynamicOMv::probe_row(std::int64_t r, const BitVec& mask) {
+  words_touched_ += (n_ + 63) / 64;
+  return m_.first_common_in_row(r, mask);
+}
+
+}  // namespace bmf

@@ -1,0 +1,62 @@
+#include "omv/omv_weak.hpp"
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+OMvWeakOracle::OMvWeakOracle(Vertex n) : n_(n), omv_(n) {}
+
+OMvWeakOracle OMvWeakOracle::from_graph(const Graph& g) {
+  OMvWeakOracle oracle(g.num_vertices());
+  for (const Edge& e : g.edges()) oracle.on_insert(e.u, e.v);
+  return oracle;
+}
+
+void OMvWeakOracle::on_insert(Vertex u, Vertex v) {
+  omv_.update(u, v, true);
+  omv_.update(v, u, true);
+}
+
+void OMvWeakOracle::on_erase(Vertex u, Vertex v) {
+  omv_.update(u, v, false);
+  omv_.update(v, u, false);
+}
+
+std::vector<Edge> OMvWeakOracle::cover_maximal(std::span<const Vertex> s_plus,
+                                               std::span<const Vertex> s_minus) {
+  BitVec avail(n_);
+  for (Vertex v : s_minus) avail.set(v);
+  std::vector<Edge> out;
+  for (Vertex u : s_plus) {
+    const std::int64_t v = omv_.probe_row(u, avail);
+    if (v >= 0) {
+      out.push_back({u, static_cast<Vertex>(v)});
+      avail.set(v, false);
+    }
+  }
+  return out;
+}
+
+WeakQueryResult OMvWeakOracle::query_impl(std::span<const Vertex> s,
+                                          double delta) {
+  // Lemma 7.9 extraction on B[S+, S-] followed by the Lemma 7.8 transfer.
+  const std::vector<Vertex> copy(s.begin(), s.end());
+  const std::vector<Edge> cover = cover_maximal(copy, copy);
+  WeakQueryResult out;
+  out.matching = cover_matching_to_graph_matching(n_, cover);
+  const double threshold = lambda() * delta * static_cast<double>(n_);
+  out.bottom = static_cast<double>(out.matching.size()) < threshold;
+  return out;
+}
+
+WeakQueryResult OMvWeakOracle::query_cover_impl(std::span<const Vertex> s_plus,
+                                                std::span<const Vertex> s_minus,
+                                                double delta) {
+  WeakQueryResult out;
+  out.matching = cover_maximal(s_plus, s_minus);
+  const double threshold = 0.5 * delta * static_cast<double>(n_);
+  out.bottom = static_cast<double>(out.matching.size()) < threshold;
+  return out;
+}
+
+}  // namespace bmf

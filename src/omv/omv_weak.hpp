@@ -1,0 +1,46 @@
+#pragma once
+
+/// A_weak backed by dynamic OMv (Section 7.4.1, Theorem 7.10 direction
+/// "OMv algorithm => dynamic matching").
+///
+/// The oracle maintains the adjacency of the double cover B through a
+/// DynamicOMv instance (B's biadjacency equals G's adjacency matrix viewed
+/// bipartitely). A query on G[S] finds a maximal matching in B[S+ u S-] by
+/// masked row probes — the Lemma 7.9 / Lemma 2.12 extraction, with the probe
+/// work charged to the OMv engine — and transfers it to G[S] by Lemma 7.8 at
+/// a factor-6 loss, giving lambda = 1/12. Cover queries are served directly.
+
+#include "dynamic/bipartite_cover.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "omv/omv.hpp"
+
+namespace bmf {
+
+class OMvWeakOracle final : public WeakOracle {
+ public:
+  explicit OMvWeakOracle(Vertex n);
+  static OMvWeakOracle from_graph(const Graph& g);
+
+  [[nodiscard]] double lambda() const override { return 1.0 / 12.0; }
+  void on_insert(Vertex u, Vertex v) override;
+  void on_erase(Vertex u, Vertex v) override;
+
+  [[nodiscard]] DynamicOMv& engine() { return omv_; }
+  [[nodiscard]] const DynamicOMv& engine() const { return omv_; }
+
+ protected:
+  WeakQueryResult query_impl(std::span<const Vertex> s, double delta) override;
+  WeakQueryResult query_cover_impl(std::span<const Vertex> s_plus,
+                                   std::span<const Vertex> s_minus,
+                                   double delta) override;
+
+ private:
+  /// Maximal matching in B[S+ u S-] via masked row probes.
+  [[nodiscard]] std::vector<Edge> cover_maximal(std::span<const Vertex> s_plus,
+                                                std::span<const Vertex> s_minus);
+
+  Vertex n_;
+  DynamicOMv omv_;
+};
+
+}  // namespace bmf

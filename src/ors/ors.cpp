@@ -1,0 +1,147 @@
+#include "ors/ors.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+std::uint64_t key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+Graph OrsGraph::graph() const {
+  GraphBuilder b(n);
+  for (const auto& matching : matchings)
+    for (const Edge& e : matching) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+bool verify_ors(const OrsGraph& ors) {
+  if (ors.matchings.empty()) return false;
+  const std::size_t r = ors.matchings.front().size();
+  // Suffix adjacency built back to front; M_i is checked against
+  // M_i u suffix before the suffix absorbs it.
+  std::vector<std::vector<Vertex>> suffix_adj(static_cast<std::size_t>(ors.n));
+  std::unordered_set<std::uint64_t> suffix_edges;
+  for (auto it = ors.matchings.rbegin(); it != ors.matchings.rend(); ++it) {
+    const auto& mi = *it;
+    if (mi.size() != r || r == 0) return false;
+    std::vector<std::uint8_t> covered(static_cast<std::size_t>(ors.n), 0);
+    std::unordered_set<std::uint64_t> own;
+    for (const Edge& e : mi) {
+      if (e.u == e.v || e.u < 0 || e.v < 0 || e.u >= ors.n || e.v >= ors.n)
+        return false;
+      if (covered[static_cast<std::size_t>(e.u)] ||
+          covered[static_cast<std::size_t>(e.v)])
+        return false;  // not a matching
+      covered[static_cast<std::size_t>(e.u)] = 1;
+      covered[static_cast<std::size_t>(e.v)] = 1;
+      own.insert(key(e.u, e.v));
+    }
+    // Induced in M_i u suffix: no suffix edge joins two covered vertices
+    // unless it coincides with an M_i edge.
+    for (const Edge& e : mi) {
+      for (Vertex x : {e.u, e.v}) {
+        for (Vertex w : suffix_adj[static_cast<std::size_t>(x)]) {
+          if (covered[static_cast<std::size_t>(w)] && !own.contains(key(x, w)))
+            return false;
+        }
+      }
+    }
+    for (const Edge& e : mi) {
+      if (suffix_edges.insert(key(e.u, e.v)).second) {
+        suffix_adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+        suffix_adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+      }
+    }
+  }
+  return true;
+}
+
+OrsGraph ors_trivial(Vertex n, Vertex r, Vertex t) {
+  BMF_REQUIRE(r >= 1 && t >= 1 && n >= 2 * r * t,
+              "ors_trivial: need n >= 2*r*t");
+  OrsGraph ors;
+  ors.n = n;
+  Vertex next = 0;
+  for (Vertex i = 0; i < t; ++i) {
+    std::vector<Edge> mi;
+    for (Vertex j = 0; j < r; ++j) {
+      mi.push_back({next, next + 1});
+      next += 2;
+    }
+    ors.matchings.push_back(std::move(mi));
+  }
+  BMF_ASSERT(verify_ors(ors));
+  return ors;
+}
+
+OrsGraph ors_greedy_random(Vertex n, Vertex r, Vertex t_target, Rng& rng,
+                           int attempts_per_edge) {
+  BMF_REQUIRE(n >= 2 * r && r >= 1 && t_target >= 1,
+              "ors_greedy_random: bad parameters");
+  OrsGraph ors;
+  ors.n = n;
+  std::vector<std::vector<Vertex>> suffix_adj(static_cast<std::size_t>(n));
+  std::unordered_set<std::uint64_t> suffix_edges;
+
+  // Build back to front: candidate edges for M_i must keep M_i induced in
+  // M_i u suffix. Accepting {u, v} requires: u, v uncovered by M_i, no suffix
+  // edge from u or v to a covered vertex, and u-v itself either absent from
+  // the suffix or about to be in M_i (which it is).
+  for (Vertex i = 0; i < t_target; ++i) {
+    std::vector<Edge> mi;
+    std::vector<std::uint8_t> covered(static_cast<std::size_t>(n), 0);
+    auto blocked = [&](Vertex x) {
+      for (Vertex w : suffix_adj[static_cast<std::size_t>(x)])
+        if (covered[static_cast<std::size_t>(w)]) return true;
+      return false;
+    };
+    std::int64_t failures = 0;
+    const std::int64_t max_failures =
+        static_cast<std::int64_t>(attempts_per_edge) * r;
+    while (static_cast<Vertex>(mi.size()) < r && failures < max_failures) {
+      const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v || covered[static_cast<std::size_t>(u)] ||
+          covered[static_cast<std::size_t>(v)] || blocked(u) || blocked(v)) {
+        ++failures;
+        continue;
+      }
+      // Accepting (u, v) must not create a conflict for *previously accepted*
+      // M_i edges either: a suffix edge from u or v into the covered set was
+      // already excluded by blocked(); the new covered vertices only matter
+      // for future accepts.
+      covered[static_cast<std::size_t>(u)] = 1;
+      covered[static_cast<std::size_t>(v)] = 1;
+      mi.push_back({u, v});
+    }
+    if (static_cast<Vertex>(mi.size()) < r) break;  // could not finish M_i
+    for (const Edge& e : mi) {
+      if (suffix_edges.insert(key(e.u, e.v)).second) {
+        suffix_adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+        suffix_adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+      }
+    }
+    ors.matchings.push_back(std::move(mi));
+  }
+  std::reverse(ors.matchings.begin(), ors.matchings.end());
+  if (!ors.matchings.empty()) BMF_ASSERT(verify_ors(ors));
+  return ors;
+}
+
+std::vector<EdgeUpdate> ors_update_sequence(const OrsGraph& ors) {
+  std::vector<EdgeUpdate> updates;
+  for (auto it = ors.matchings.rbegin(); it != ors.matchings.rend(); ++it)
+    for (const Edge& e : *it) updates.push_back(EdgeUpdate::ins(e.u, e.v));
+  for (const auto& mi : ors.matchings)
+    for (const Edge& e : mi) updates.push_back(EdgeUpdate::del(e.u, e.v));
+  return updates;
+}
+
+}  // namespace bmf

@@ -1,0 +1,65 @@
+#pragma once
+
+/// Ordered Ruzsa-Szemerédi (ORS) graphs (Definition 7.2).
+///
+/// An (r, t)-ORS graph has its edges partitioned into an ordered sequence of
+/// t matchings M_1..M_t, each of size r, such that M_i is an induced matching
+/// in the subgraph with edge set M_i u M_{i+1} u ... u M_t. ORS graphs are
+/// the hardness currency of Theorem 7.4: the dynamic algorithm's update time
+/// carries an ORS(n, Theta(n)) factor, so ORS instances are the adversarial
+/// workloads for the dynamic benchmarks.
+///
+/// The paper itself notes the extremal value ORS(n, r) is unknown; we provide
+/// (a) the trivial vertex-disjoint construction (t = n / 2r, always valid),
+/// (b) a randomized greedy *ordered* construction built back-to-front — when
+/// matching M_i is chosen, only the suffix M_{i+1..t} constrains it, which is
+/// exactly what Definition 7.2 permits — plus an exact verifier used by tests
+/// and by the generator itself.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "dynamic/dynamic_matcher.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+struct OrsGraph {
+  Vertex n = 0;
+  /// matchings[i] = M_{i+1} (ordered as in Definition 7.2).
+  std::vector<std::vector<Edge>> matchings;
+
+  [[nodiscard]] std::int64_t t() const {
+    return static_cast<std::int64_t>(matchings.size());
+  }
+  [[nodiscard]] std::int64_t r() const {
+    return matchings.empty() ? 0
+                             : static_cast<std::int64_t>(matchings.front().size());
+  }
+  /// The union graph G.
+  [[nodiscard]] Graph graph() const;
+};
+
+/// Exact check of Definition 7.2: every M_i is a matching of size r and is
+/// induced in the suffix union.
+[[nodiscard]] bool verify_ors(const OrsGraph& ors);
+
+/// Trivial (r, t)-ORS: t matchings on pairwise disjoint vertex sets.
+/// Requires n >= 2 * r * t.
+[[nodiscard]] OrsGraph ors_trivial(Vertex n, Vertex r, Vertex t);
+
+/// Randomized greedy ordered construction: builds M_t, M_{t-1}, ..., M_1,
+/// accepting an edge into M_i only if inducedness against the suffix is
+/// preserved. Returns as many matchings as it managed (possibly < t_target).
+[[nodiscard]] OrsGraph ors_greedy_random(Vertex n, Vertex r, Vertex t_target,
+                                         Rng& rng, int attempts_per_edge = 64);
+
+/// Adversarial dynamic workload derived from an ORS graph: inserts the
+/// matchings back-to-front (so each newly inserted matching is induced among
+/// the edges present), then deletes them front-to-back. Every prefix graph
+/// keeps the ORS structure, which is the regime where vertex-sampling oracles
+/// struggle (large induced matchings hide in few vertices).
+[[nodiscard]] std::vector<EdgeUpdate> ors_update_sequence(const OrsGraph& ors);
+
+}  // namespace bmf

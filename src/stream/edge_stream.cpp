@@ -1,0 +1,20 @@
+#include "stream/edge_stream.hpp"
+
+#include <numeric>
+
+namespace bmf {
+
+EdgeStream::EdgeStream(const Graph& g, bool shuffle_each_pass, std::uint64_t seed)
+    : g_(g), shuffle_(shuffle_each_pass), rng_(seed),
+      order_(static_cast<std::size_t>(g.num_edges())) {
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void EdgeStream::for_each_pass(const std::function<void(const Edge&)>& fn) {
+  if (shuffle_) rng_.shuffle(order_);
+  const auto edges = g_.edges();
+  for (std::int64_t i : order_) fn(edges[static_cast<std::size_t>(i)]);
+  ++passes_;
+}
+
+}  // namespace bmf

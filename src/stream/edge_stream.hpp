@@ -1,0 +1,41 @@
+#pragma once
+
+/// Pass-counted edge streams (Section 3.4, semi-streaming model).
+///
+/// The stream can only be read as a whole; each full read is a pass. The
+/// algorithm's space is accounted separately (see StreamingMatcher). Edges may
+/// be re-ordered between passes to model adversarial arrival order.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+class EdgeStream {
+ public:
+  /// Streams the edges of g. If `shuffle_each_pass`, the order is re-drawn
+  /// uniformly before every pass (the model allows arbitrary order per pass).
+  explicit EdgeStream(const Graph& g, bool shuffle_each_pass = false,
+                      std::uint64_t seed = 1);
+
+  /// One pass: fn sees every undirected edge exactly once.
+  void for_each_pass(const std::function<void(const Edge&)>& fn);
+
+  [[nodiscard]] std::int64_t passes() const { return passes_; }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(order_.size());
+  }
+
+ private:
+  const Graph& g_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t passes_ = 0;
+};
+
+}  // namespace bmf

@@ -1,0 +1,114 @@
+#include "stream/streaming_matcher.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+void StreamingDriver::try_arc(StructureForest& forest, Vertex u, Vertex v) {
+  // Algorithm 3 body for the arc g = (u, v).
+  if (forest.is_removed(u) || forest.is_removed(v)) return;
+  const StructureId su = forest.structure_of(u);
+  if (su == kNoStructure) return;
+  const StructureInfo& s = forest.structure(su);
+  const BlossomId bu = forest.omega(u);
+  if (s.working != bu) return;                       // tail must be working
+  if (bu == forest.omega(v)) return;                 // blossom arc
+  if (forest.matching().mate(u) == v) return;        // matched arc
+  // Section 4.6 prose: skip structures marked on hold or extended (an
+  // overtaken structure is modified-but-not-extended and may still extend).
+  if (s.on_hold || s.extended) return;
+
+  if (forest.is_outer(v)) {
+    if (forest.structure_of(v) == su) {
+      if (forest.can_contract(u, v)) forest.contract(u, v);
+    } else {
+      if (forest.can_augment(u, v)) forest.augment(u, v);
+    }
+    return;
+  }
+  // Omega(v) is inner or unvisited: candidate Overtake with
+  // k = distance(u) + 1 (Algorithm 3 lines 13-17).
+  if (forest.matching().mate(v) == kNoVertex) return;
+  const int k = forest.outer_level(bu) + 1;
+  if (k < forest.label(v) && forest.can_overtake(u, v, k))
+    forest.overtake(u, v, k);
+}
+
+void StreamingDriver::extend_active_path(StructureForest& forest) {
+  stream_.for_each_pass([&](const Edge& e) {
+    try_arc(forest, e.u, e.v);
+    try_arc(forest, e.v, e.u);
+  });
+}
+
+void StreamingDriver::contract_and_augment(StructureForest& forest) {
+  // Pass 1: record in-structure arcs (both endpoints currently in the same
+  // structure). Overtake never runs during Contract-and-Augment, so
+  // co-structurality only shrinks during this step and the recorded set is
+  // complete for the Contract fixpoint below.
+  std::vector<Edge> in_structure;
+  stream_.for_each_pass([&](const Edge& e) {
+    if (forest.is_removed(e.u) || forest.is_removed(e.v)) return;
+    const StructureId su = forest.structure_of(e.u);
+    if (su != kNoStructure && su == forest.structure_of(e.v))
+      in_structure.push_back(e);
+  });
+  peak_words_ = std::max(peak_words_,
+                         static_cast<std::int64_t>(in_structure.size()) * 2);
+
+  // Step 1: Contract fixpoint from memory (type-1 arcs only exist at working
+  // vertices; each contraction can expose new ones, so loop to fixpoint).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Edge& e : in_structure) {
+      if (forest.can_contract(e.u, e.v)) {
+        forest.contract(e.u, e.v);
+        changed = true;
+      } else if (forest.can_contract(e.v, e.u)) {
+        forest.contract(e.v, e.u);
+        changed = true;
+      }
+    }
+  }
+
+  // Pass 2 / Step 2: exhaust type-2 arcs. Augment only removes structures,
+  // so processing each arc once reaches the fixpoint.
+  stream_.for_each_pass([&](const Edge& e) {
+    if (forest.can_augment(e.u, e.v)) forest.augment(e.u, e.v);
+  });
+}
+
+StreamingResult streaming_matching(EdgeStream& stream, Vertex n,
+                                   const CoreConfig& cfg) {
+  // Algorithm 1 line 1: a 2-approximate maximal matching in a single pass.
+  Matching m(n);
+  stream.for_each_pass([&](const Edge& e) {
+    if (m.is_free(e.u) && m.is_free(e.v)) m.add(e.u, e.v);
+  });
+
+  // The phase engine needs adjacency for the structure-local operations the
+  // streaming algorithm keeps in memory (stored matched arcs + structures).
+  // Rebuild that static view once; stream passes remain the unit of account.
+  GraphBuilder builder(n);
+  stream.for_each_pass([&](const Edge& e) { builder.add_edge(e.u, e.v); });
+  const Graph g = builder.build();
+
+  StreamingDriver driver(stream, cfg);
+  PhaseEngine engine(g, cfg);
+  StreamingResult result{std::move(m), {}, 0, 0};
+  result.outcome = engine.run(result.matching, driver);
+  result.passes = stream.passes();
+  result.peak_memory_words = driver.peak_memory_words();
+  return result;
+}
+
+StreamingResult streaming_matching(const Graph& g, const CoreConfig& cfg) {
+  EdgeStream stream(g, /*shuffle_each_pass=*/false, cfg.seed);
+  return streaming_matching(stream, g.num_vertices(), cfg);
+}
+
+}  // namespace bmf

@@ -1,0 +1,63 @@
+#pragma once
+
+/// The semi-streaming (1+eps)-approximate matching algorithm of [MMSS25]
+/// (Section 4), implemented directly over pass-counted streams.
+///
+/// This is the algorithm the oracle framework of Section 5 simulates; having
+/// it as a standalone driver gives (a) a reference implementation the
+/// framework is differentially tested against, and (b) the pass-count
+/// experiment (bench PASS).
+///
+/// Pass budget per pass-bundle: one pass for Extend-Active-Path (Algorithm 3)
+/// and two for Contract-and-Augment (one to record in-structure arcs and run
+/// the Contract fixpoint from memory, one to exhaust type-2 Augment arcs;
+/// augmentations only remove structures, so a single pass reaches the type-2
+/// fixpoint). Memory is tracked in words and stays O(n poly(1/eps)).
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/phase.hpp"
+#include "core/structures.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace bmf {
+
+class StreamingDriver final : public PassBundleDriver {
+ public:
+  StreamingDriver(EdgeStream& stream, const CoreConfig& cfg)
+      : stream_(stream), cfg_(cfg) {}
+
+  void extend_active_path(StructureForest& forest) override;
+  void contract_and_augment(StructureForest& forest) override;
+  /// The streaming algorithm is the exact [MMSS25] procedure — no oracle
+  /// truncation, hence no contaminated arcs.
+  [[nodiscard]] bool exhaustive() const override { return true; }
+
+  [[nodiscard]] std::int64_t peak_memory_words() const { return peak_words_; }
+
+ private:
+  void try_arc(StructureForest& forest, Vertex u, Vertex v);
+
+  EdgeStream& stream_;
+  const CoreConfig& cfg_;
+  std::int64_t peak_words_ = 0;
+};
+
+struct StreamingResult {
+  Matching matching;
+  BoostOutcome outcome;
+  std::int64_t passes = 0;
+  std::int64_t peak_memory_words = 0;
+};
+
+/// Algorithm 1 run end-to-end in the semi-streaming model: one pass for the
+/// initial greedy maximal (2-approximate) matching, then the phase schedule.
+[[nodiscard]] StreamingResult streaming_matching(EdgeStream& stream, Vertex n,
+                                                 const CoreConfig& cfg);
+
+/// Convenience overload streaming the edges of g in stored order.
+[[nodiscard]] StreamingResult streaming_matching(const Graph& g,
+                                                 const CoreConfig& cfg);
+
+}  // namespace bmf

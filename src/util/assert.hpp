@@ -1,0 +1,43 @@
+#pragma once
+
+/// Internal invariant assertions.
+///
+/// BMF_ASSERT is compiled in when BMF_ASSERTS is defined (the default build).
+/// It is used for internal invariants of the alternating-tree machinery; API
+/// misuse by callers throws std::invalid_argument instead (see BMF_REQUIRE).
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bmf {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "BMF_ASSERT failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace bmf
+
+#ifdef BMF_ASSERTS
+#define BMF_ASSERT(expr)                                       \
+  do {                                                         \
+    if (!(expr)) ::bmf::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+#define BMF_ASSERT_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) ::bmf::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+#else
+#define BMF_ASSERT(expr) ((void)0)
+#define BMF_ASSERT_MSG(expr, msg) ((void)0)
+#endif
+
+/// Precondition check for public API entry points; always enabled.
+#define BMF_REQUIRE(expr, msg)                         \
+  do {                                                 \
+    if (!(expr)) throw std::invalid_argument((msg));   \
+  } while (0)

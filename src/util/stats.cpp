@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::int64_t bucket_width) : width_(bucket_width) {
+  BMF_ASSERT(bucket_width > 0);
+}
+
+void Histogram::add(std::int64_t value) {
+  BMF_ASSERT(value >= 0);
+  const auto b = static_cast<std::size_t>(value / width_);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return static_cast<std::int64_t>(b + 1) * width_ - 1;
+  }
+  return static_cast<std::int64_t>(buckets_.size()) * width_ - 1;
+}
+
+double fit_loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  BMF_ASSERT(x.size() == y.size());
+  BMF_ASSERT(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double lx = std::log(x[i]);
+    const double ly = std::log(std::max(y[i], 1e-300));
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace bmf

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Small online statistics accumulators used by benchmarks and instrumented runs.
+
+#include <cstdint>
+#include <vector>
+
+namespace bmf {
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0, sum_ = 0.0;
+};
+
+/// Integer histogram with fixed bucket width, used for size/label distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::int64_t bucket_width = 1);
+
+  void add(std::int64_t value);
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::int64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::int64_t bucket_width() const { return width_; }
+  /// Smallest v such that at least `q` fraction of samples are <= v.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+ private:
+  std::int64_t width_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> buckets_;
+};
+
+/// Least-squares slope of log(y) against log(x): the fitted exponent of a
+/// power law y ~ x^slope. Used to verify growth rates in 1/eps.
+double fit_loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace bmf

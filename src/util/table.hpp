@@ -1,0 +1,32 @@
+#pragma once
+
+/// Fixed-width ASCII table printer. Benchmarks use it to regenerate the
+/// paper's tables as aligned rows on stdout.
+
+#include <string>
+#include <vector>
+
+namespace bmf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::int64_t v);
+
+  /// Render to a string with a title line and column separators.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  /// Render directly to stdout.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bmf

@@ -1,0 +1,169 @@
+#include "weighted/weighted.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+Graph WeightedGraph::unweighted() const {
+  GraphBuilder b(n);
+  for (const WeightedEdge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+Weight matching_weight(const WeightedGraph& wg,
+                       const std::vector<WeightedEdge>& matching) {
+  (void)wg;
+  Weight total = 0;
+  for (const WeightedEdge& e : matching) total += e.w;
+  return total;
+}
+
+std::vector<WeightedEdge> greedy_weighted_matching(const WeightedGraph& wg) {
+  std::vector<WeightedEdge> sorted = wg.edges;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.w > b.w;
+                   });
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(wg.n), 0);
+  std::vector<WeightedEdge> out;
+  for (const WeightedEdge& e : sorted) {
+    if (used[static_cast<std::size_t>(e.u)] || used[static_cast<std::size_t>(e.v)])
+      continue;
+    used[static_cast<std::size_t>(e.u)] = 1;
+    used[static_cast<std::size_t>(e.v)] = 1;
+    out.push_back(e);
+  }
+  return out;
+}
+
+Weight brute_force_weighted_matching(const WeightedGraph& wg) {
+  BMF_REQUIRE(wg.n <= 24, "brute_force_weighted_matching: graph too large");
+  // best[mask] = max weight matching inside vertex subset `mask`.
+  const std::size_t full = std::size_t{1} << wg.n;
+  std::vector<Weight> best(full, 0);
+  // Adjacency with weights (parallel edges resolved to the heaviest).
+  std::map<std::pair<Vertex, Vertex>, Weight> heaviest;
+  for (const WeightedEdge& e : wg.edges) {
+    const auto key = std::minmax(e.u, e.v);
+    auto [it, fresh] = heaviest.emplace(std::pair{key.first, key.second}, e.w);
+    if (!fresh) it->second = std::max(it->second, e.w);
+  }
+  std::vector<std::vector<std::pair<Vertex, Weight>>> sym(
+      static_cast<std::size_t>(wg.n));
+  for (const auto& [key, w] : heaviest) {
+    sym[static_cast<std::size_t>(key.first)].push_back({key.second, w});
+    sym[static_cast<std::size_t>(key.second)].push_back({key.first, w});
+  }
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    const int v = std::countr_zero(mask);
+    const std::uint32_t rest = mask & (mask - 1);
+    Weight b = best[rest];
+    for (const auto& [t, w] : sym[static_cast<std::size_t>(v)])
+      if (((rest >> t) & 1u) != 0)
+        b = std::max(b, w + best[rest & ~(1u << t)]);
+    best[mask] = b;
+  }
+  return best[full - 1];
+}
+
+ScaledWeights gp_scale_weights(const WeightedGraph& wg, double eps) {
+  BMF_REQUIRE(eps > 0 && eps <= 1, "gp_scale_weights: eps out of range");
+  ScaledWeights out;
+  out.graph.n = wg.n;
+  if (wg.edges.empty()) return out;
+  Weight w_max = 0;
+  for (const WeightedEdge& e : wg.edges) {
+    BMF_REQUIRE(e.w > 0, "gp_scale_weights: weights must be positive");
+    w_max = std::max(w_max, e.w);
+  }
+  const Weight floor_w =
+      eps * w_max / std::max<Weight>(1.0, static_cast<Weight>(wg.n));
+  std::map<std::int64_t, bool> classes;
+  const double log_base = std::log1p(eps);
+  for (const WeightedEdge& e : wg.edges) {
+    if (e.w < floor_w) continue;  // total loss <= n/2 * floor_w <= eps/2 * OPT
+    const auto cls = static_cast<std::int64_t>(
+        std::floor(std::log(static_cast<double>(e.w)) / log_base));
+    const Weight rounded = static_cast<Weight>(
+        std::pow(1.0 + eps, static_cast<double>(cls)));
+    out.graph.edges.push_back({e.u, e.v, rounded});
+    classes[cls] = true;
+  }
+  out.distinct_classes = static_cast<std::int64_t>(classes.size());
+  return out;
+}
+
+std::vector<WeightedEdge> class_combined_weighted_matching(
+    const WeightedGraph& wg, double eps, const McmSubroutine& mcm) {
+  BMF_REQUIRE(eps > 0 && eps <= 1, "class_combined_weighted_matching: bad eps");
+  if (wg.edges.empty()) return {};
+  // Partition into geometric classes by weight.
+  const double log_base = std::log1p(eps);
+  std::map<std::int64_t, std::vector<WeightedEdge>, std::greater<>> classes;
+  for (const WeightedEdge& e : wg.edges) {
+    BMF_REQUIRE(e.w > 0, "class_combined_weighted_matching: weights must be positive");
+    const auto cls = static_cast<std::int64_t>(
+        std::floor(std::log(static_cast<double>(e.w)) / log_base));
+    classes[cls].push_back(e);
+  }
+
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(wg.n), 0);
+  std::vector<WeightedEdge> out;
+  for (const auto& [cls, class_edges] : classes) {
+    GraphBuilder b(wg.n);
+    for (const WeightedEdge& e : class_edges) b.add_edge(e.u, e.v);
+    const Graph sub = b.build();
+    const Matching mi = mcm(sub);
+    // Weight lookup for the class (heaviest parallel edge wins).
+    std::map<std::pair<Vertex, Vertex>, Weight> weight_of;
+    for (const WeightedEdge& e : class_edges) {
+      const auto key = std::minmax(e.u, e.v);
+      auto [it, fresh] = weight_of.emplace(std::pair{key.first, key.second}, e.w);
+      if (!fresh) it->second = std::max(it->second, e.w);
+    }
+    for (const Edge& e : mi.edge_list()) {
+      if (used[static_cast<std::size_t>(e.u)] || used[static_cast<std::size_t>(e.v)])
+        continue;
+      used[static_cast<std::size_t>(e.u)] = 1;
+      used[static_cast<std::size_t>(e.v)] = 1;
+      out.push_back({e.u, e.v, weight_of.at({e.u, e.v})});
+    }
+  }
+  return out;
+}
+
+WeightedBoostResult boosted_weighted_matching(const WeightedGraph& wg, double eps,
+                                              const CoreConfig& core_cfg) {
+  WeightedBoostResult result;
+  const ScaledWeights scaled = gp_scale_weights(wg, eps);
+  result.classes = scaled.distinct_classes;
+
+  GreedyMatchingOracle oracle;
+  const McmSubroutine mcm = [&](const Graph& sub) {
+    CoreConfig cfg = core_cfg;
+    cfg.eps = eps;
+    return boost_matching(sub, oracle, cfg).matching;
+  };
+  result.matching = class_combined_weighted_matching(scaled.graph, eps, mcm);
+  // Report the weight under the *original* weights (heaviest parallel edge).
+  std::map<std::pair<Vertex, Vertex>, Weight> original;
+  for (const WeightedEdge& e : wg.edges) {
+    const auto key = std::minmax(e.u, e.v);
+    auto [it, fresh] = original.emplace(std::pair{key.first, key.second}, e.w);
+    if (!fresh) it->second = std::max(it->second, e.w);
+  }
+  for (WeightedEdge& e : result.matching) {
+    const auto key = std::minmax(e.u, e.v);
+    e.w = original.at({key.first, key.second});
+    result.weight += e.w;
+  }
+  result.oracle_calls = oracle.calls();
+  return result;
+}
+
+}  // namespace bmf

@@ -1,0 +1,93 @@
+#pragma once
+
+/// Weighted matching via unweighted boosting (the reduction family of
+/// Section 1.2).
+///
+/// The paper's framework is for maximum *cardinality* matching; its related
+/// work catalogues reductions that lift cardinality algorithms to weights:
+///
+///  * [GP13] Gupta-Peng: arbitrary positive weights reduce to integer weights
+///    in a poly(1/eps) range at a (1+eps) loss — `gp_scale_weights` below
+///    (drop edges lighter than eps*w_max/n, then round to powers of 1+eps).
+///  * [SVW17] Stubbs-Vassilevska Williams: an alpha-approximate MCM
+///    subroutine yields a (2+eps)*alpha-approximate MWM by keeping one MCM
+///    per geometric weight class and combining classes heavy-to-light —
+///    `class_combined_weighted_matching` below, instantiated with this
+///    repository's boosting framework as the MCM subroutine
+///    (`boosted_weighted_matching`): alpha = 1+eps', total (2+O(eps)).
+///
+/// Ground truth for tests: `brute_force_weighted_matching` (n <= 24) and the
+/// sort-by-weight greedy (classic 2-approximation) as a baseline.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+using Weight = double;
+
+struct WeightedEdge {
+  Vertex u = kNoVertex;
+  Vertex v = kNoVertex;
+  Weight w = 0;
+};
+
+struct WeightedGraph {
+  Vertex n = 0;
+  std::vector<WeightedEdge> edges;
+
+  [[nodiscard]] Graph unweighted() const;
+};
+
+/// Total weight of a matching given as an edge subset of wg.
+[[nodiscard]] Weight matching_weight(const WeightedGraph& wg,
+                                     const std::vector<WeightedEdge>& matching);
+
+/// Classic 2-approximate MWM: greedy over edges sorted by decreasing weight.
+[[nodiscard]] std::vector<WeightedEdge> greedy_weighted_matching(
+    const WeightedGraph& wg);
+
+/// Exact maximum-weight matching by subset DP; requires n <= 24.
+[[nodiscard]] Weight brute_force_weighted_matching(const WeightedGraph& wg);
+
+/// [GP13]-style preprocessing: drops edges with w < eps * w_max / n (they
+/// cannot contribute more than an eps fraction of the optimum) and rounds the
+/// rest down to powers of (1+eps). The result has O(log_{1+eps}(n/eps))
+/// distinct weight values; any (1+delta)-approximate MWM of the scaled graph
+/// is a (1+delta)(1+eps)-ish approximation of the original.
+struct ScaledWeights {
+  WeightedGraph graph;            ///< surviving edges with rounded weights
+  std::int64_t distinct_classes;  ///< number of distinct weight values
+};
+[[nodiscard]] ScaledWeights gp_scale_weights(const WeightedGraph& wg, double eps);
+
+/// An unweighted maximum-matching subroutine: receives a subgraph (as a
+/// Graph preserving wg's vertex ids) and returns a matching.
+using McmSubroutine = std::function<Matching(const Graph&)>;
+
+/// [SVW17]-style class combination: partition edges into geometric weight
+/// classes [(1+eps)^i, (1+eps)^{i+1}), run the MCM subroutine per class, and
+/// combine the class matchings from heaviest to lightest, keeping edges whose
+/// endpoints are still free. With an alpha-approximate subroutine the result
+/// is a (2+O(eps)) * alpha approximate MWM.
+[[nodiscard]] std::vector<WeightedEdge> class_combined_weighted_matching(
+    const WeightedGraph& wg, double eps, const McmSubroutine& mcm);
+
+struct WeightedBoostResult {
+  std::vector<WeightedEdge> matching;
+  Weight weight = 0;
+  std::int64_t classes = 0;
+  std::int64_t oracle_calls = 0;
+};
+
+/// The full pipeline: gp_scale_weights, then class combination with this
+/// repository's boosting framework (Theorem 1.1) as the MCM subroutine.
+[[nodiscard]] WeightedBoostResult boosted_weighted_matching(
+    const WeightedGraph& wg, double eps, const CoreConfig& core_cfg);
+
+}  // namespace bmf

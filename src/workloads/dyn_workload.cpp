@@ -1,0 +1,110 @@
+#include "workloads/dyn_workload.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+std::uint64_t key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+Edge random_fresh_edge(Vertex n, const std::unordered_set<std::uint64_t>& live,
+                       Rng& rng) {
+  for (;;) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (!live.contains(key(u, v))) return {std::min(u, v), std::max(u, v)};
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeUpdate> dyn_random_updates(Vertex n, std::int64_t count,
+                                           double insert_prob, Rng& rng) {
+  BMF_REQUIRE(n >= 2 && count >= 0, "dyn_random_updates: bad parameters");
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::uint64_t> live;
+  std::vector<Edge> live_list;
+  while (static_cast<std::int64_t>(updates.size()) < count) {
+    const bool do_insert = live_list.empty() || rng.next_bool(insert_prob);
+    if (do_insert) {
+      const Edge e = random_fresh_edge(n, live, rng);
+      live.insert(key(e.u, e.v));
+      live_list.push_back(e);
+      updates.push_back(EdgeUpdate::ins(e.u, e.v));
+    } else {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(live_list.size()));
+      const Edge e = live_list[i];
+      live_list[i] = live_list.back();
+      live_list.pop_back();
+      live.erase(key(e.u, e.v));
+      updates.push_back(EdgeUpdate::del(e.u, e.v));
+    }
+  }
+  return updates;
+}
+
+std::vector<EdgeUpdate> dyn_sliding_window(Vertex n, std::int64_t window,
+                                           std::int64_t count, Rng& rng) {
+  BMF_REQUIRE(n >= 2 && window >= 1 && count >= 0,
+              "dyn_sliding_window: bad parameters");
+  std::vector<EdgeUpdate> updates;
+  std::unordered_set<std::uint64_t> live;
+  std::deque<Edge> fifo;
+  while (static_cast<std::int64_t>(updates.size()) < count) {
+    if (static_cast<std::int64_t>(fifo.size()) >= window) {
+      const Edge e = fifo.front();
+      fifo.pop_front();
+      live.erase(key(e.u, e.v));
+      updates.push_back(EdgeUpdate::del(e.u, e.v));
+      if (static_cast<std::int64_t>(updates.size()) >= count) break;
+    }
+    const Edge e = random_fresh_edge(n, live, rng);
+    live.insert(key(e.u, e.v));
+    fifo.push_back(e);
+    updates.push_back(EdgeUpdate::ins(e.u, e.v));
+  }
+  return updates;
+}
+
+std::vector<EdgeUpdate> dyn_churn_planted(Vertex n, std::int64_t count, Rng& rng) {
+  BMF_REQUIRE(n >= 4 && n % 2 == 0 && count >= 0,
+              "dyn_churn_planted: need even n >= 4");
+  std::vector<EdgeUpdate> updates;
+  std::unordered_set<std::uint64_t> live;
+  // Plant the perfect matching i <-> i + n/2.
+  std::vector<Edge> planted;
+  const Vertex half = n / 2;
+  for (Vertex i = 0; i < half && static_cast<std::int64_t>(updates.size()) < count;
+       ++i) {
+    planted.push_back({i, i + half});
+    live.insert(key(i, i + half));
+    updates.push_back(EdgeUpdate::ins(i, i + half));
+  }
+  // Churn: delete one planted edge, insert a random replacement pair shift.
+  while (static_cast<std::int64_t>(updates.size()) < count) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.next_below(planted.size()));
+    const Edge old = planted[i];
+    live.erase(key(old.u, old.v));
+    updates.push_back(EdgeUpdate::del(old.u, old.v));
+    if (static_cast<std::int64_t>(updates.size()) >= count) break;
+    // Re-plant the same pair through a random intermediate shift: connect
+    // old.u to a random partner w and keep churn local.
+    Edge fresh = random_fresh_edge(n, live, rng);
+    live.insert(key(fresh.u, fresh.v));
+    planted[i] = fresh;
+    updates.push_back(EdgeUpdate::ins(fresh.u, fresh.v));
+  }
+  return updates;
+}
+
+}  // namespace bmf

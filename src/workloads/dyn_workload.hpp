@@ -1,0 +1,40 @@
+#pragma once
+
+/// Update-sequence generators for the fully dynamic experiments (Table 2).
+///
+/// All generators track the evolving edge set so every emitted update is
+/// valid (no duplicate insertions, no deletions of absent edges) and the
+/// graph starts empty, as Problem 1 requires.
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+/// Mixed random insertions/deletions: each step inserts a fresh uniform edge
+/// with probability insert_prob (or when nothing is deletable), otherwise
+/// deletes a uniform existing edge.
+[[nodiscard]] std::vector<EdgeUpdate> dyn_random_updates(Vertex n,
+                                                         std::int64_t count,
+                                                         double insert_prob,
+                                                         Rng& rng);
+
+/// Sliding window: always insert a fresh edge; once `window` edges are live,
+/// each insertion is preceded by deleting the oldest edge.
+[[nodiscard]] std::vector<EdgeUpdate> dyn_sliding_window(Vertex n,
+                                                         std::int64_t window,
+                                                         std::int64_t count,
+                                                         Rng& rng);
+
+/// Churning planted matching: builds a perfect matching, then repeatedly
+/// deletes a random *matched-structure* edge and re-inserts a replacement
+/// keeping a near-perfect matching present; stresses the rebuild path because
+/// mu stays Theta(n) while the witness keeps moving.
+[[nodiscard]] std::vector<EdgeUpdate> dyn_churn_planted(Vertex n,
+                                                        std::int64_t count,
+                                                        Rng& rng);
+
+}  // namespace bmf

@@ -1,0 +1,158 @@
+#include "workloads/gen.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+std::uint64_t edge_key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+Graph gen_random_graph(Vertex n, std::int64_t m, Rng& rng) {
+  BMF_REQUIRE(n >= 2, "gen_random_graph: need n >= 2");
+  const std::int64_t max_edges = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  while (static_cast<std::int64_t>(seen.size()) < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gen_random_bipartite(Vertex left, Vertex right, std::int64_t m, Rng& rng) {
+  BMF_REQUIRE(left >= 1 && right >= 1, "gen_random_bipartite: empty side");
+  const std::int64_t max_edges = static_cast<std::int64_t>(left) * right;
+  m = std::min(m, max_edges);
+  GraphBuilder b(left + right);
+  std::unordered_set<std::uint64_t> seen;
+  while (static_cast<std::int64_t>(seen.size()) < m) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(left)));
+    const auto v = static_cast<Vertex>(
+        left + static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(right))));
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gen_planted_matching(Vertex n, std::int64_t noise, Rng& rng) {
+  BMF_REQUIRE(n >= 2 && n % 2 == 0, "gen_planted_matching: need even n >= 2");
+  std::vector<Vertex> perm(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(perm);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  for (Vertex i = 0; i < n; i += 2) {
+    const Vertex u = perm[static_cast<std::size_t>(i)];
+    const Vertex v = perm[static_cast<std::size_t>(i + 1)];
+    b.add_edge(u, v);
+    seen.insert(edge_key(u, v));
+  }
+  std::int64_t added = 0;
+  const std::int64_t max_extra =
+      static_cast<std::int64_t>(n) * (n - 1) / 2 - n / 2;
+  noise = std::min(noise, max_extra);
+  while (added < noise) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) {
+      b.add_edge(u, v);
+      ++added;
+    }
+  }
+  return b.build();
+}
+
+Graph gen_disjoint_paths(Vertex count, Vertex path_len) {
+  BMF_REQUIRE(count >= 1 && path_len >= 1, "gen_disjoint_paths: bad parameters");
+  const Vertex per = path_len + 1;
+  GraphBuilder b(count * per);
+  for (Vertex c = 0; c < count; ++c)
+    for (Vertex i = 0; i < path_len; ++i)
+      b.add_edge(c * per + i, c * per + i + 1);
+  return b.build();
+}
+
+Graph gen_augmenting_chains(Vertex gadgets, Vertex k) {
+  BMF_REQUIRE(gadgets >= 1 && k >= 1, "gen_augmenting_chains: bad parameters");
+  // Each gadget is a path with 2k+1 edges: a maximum matching has k+1 edges,
+  // while the "lazy" matching that takes every second edge starting from the
+  // second one has k edges and admits a single augmenting path of length 2k+1.
+  return gen_disjoint_paths(gadgets, 2 * k + 1);
+}
+
+Graph gen_adversarial_chains(Vertex gadgets, Vertex k) {
+  BMF_REQUIRE(gadgets >= 1 && k >= 1, "gen_adversarial_chains: bad parameters");
+  // Path p_0 - p_1 - ... - p_{2k+1} per gadget. Middle (odd-indexed) edges
+  // are (p_{2i+1}, p_{2i+2}); give their endpoints the lowest labels within
+  // the gadget block so canonical edge order lists each middle edge before
+  // the unmatched edges touching it, making greedy take exactly the middles.
+  const Vertex per = 2 * k + 2;
+  GraphBuilder b(gadgets * per);
+  for (Vertex c = 0; c < gadgets; ++c) {
+    const Vertex base = c * per;
+    std::vector<Vertex> label(static_cast<std::size_t>(per));
+    // p_1..p_{2k} get base+0 .. base+2k-1; endpoints p_0, p_{2k+1} go last.
+    for (Vertex i = 1; i <= 2 * k; ++i)
+      label[static_cast<std::size_t>(i)] = base + i - 1;
+    label[0] = base + 2 * k;
+    label[static_cast<std::size_t>(2 * k + 1)] = base + 2 * k + 1;
+    for (Vertex i = 0; i <= 2 * k; ++i)
+      b.add_edge(label[static_cast<std::size_t>(i)],
+                 label[static_cast<std::size_t>(i + 1)]);
+  }
+  return b.build();
+}
+
+Graph gen_odd_cycles(Vertex count, Vertex cycle_len) {
+  BMF_REQUIRE(count >= 1 && cycle_len >= 3 && cycle_len % 2 == 1,
+              "gen_odd_cycles: need odd cycle_len >= 3");
+  GraphBuilder b(count * cycle_len);
+  for (Vertex c = 0; c < count; ++c)
+    for (Vertex i = 0; i < cycle_len; ++i)
+      b.add_edge(c * cycle_len + i, c * cycle_len + (i + 1) % cycle_len);
+  return b.build();
+}
+
+Graph gen_near_regular(Vertex n, Vertex d, Rng& rng) {
+  BMF_REQUIRE(n >= 2 && d >= 1 && d < n, "gen_near_regular: bad parameters");
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex v = 0; v < n; ++v)
+    for (Vertex i = 0; i < d; ++i) stubs.push_back(v);
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const Vertex u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gen_clique_pair(Vertex k) {
+  BMF_REQUIRE(k >= 1, "gen_clique_pair: bad size");
+  GraphBuilder b(2 * k);
+  for (Vertex i = 0; i < k; ++i) {
+    for (Vertex j = i + 1; j < k; ++j) {
+      b.add_edge(i, j);
+      b.add_edge(k + i, k + j);
+    }
+    b.add_edge(i, k + i);
+  }
+  return b.build();
+}
+
+}  // namespace bmf

@@ -1,0 +1,58 @@
+#pragma once
+
+/// Graph generators used by tests, examples and the benchmark harnesses.
+///
+/// Families cover what the boosting framework is sensitive to: density
+/// (random G(n,m)), bipartiteness (random bipartite), guaranteed-large
+/// matchings (planted perfect matchings with noise), and worst-case-style
+/// instances with many long augmenting paths (path/chain gadgets), which is
+/// exactly the regime where Theta(1) -> (1+eps) boosting has work to do.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace bmf {
+
+/// Erdos-Renyi-style G(n, m): m distinct uniform edges.
+[[nodiscard]] Graph gen_random_graph(Vertex n, std::int64_t m, Rng& rng);
+
+/// Random bipartite graph: sides [0, left) and [left, left+right), m edges.
+[[nodiscard]] Graph gen_random_bipartite(Vertex left, Vertex right, std::int64_t m,
+                                         Rng& rng);
+
+/// Perfect matching on n vertices (n even) hidden among `noise` random edges.
+/// mu(G) = n/2 by construction.
+[[nodiscard]] Graph gen_planted_matching(Vertex n, std::int64_t noise, Rng& rng);
+
+/// Disjoint union of `count` simple paths with `path_len` edges each
+/// (odd path_len => each path is augmenting for the empty matching).
+[[nodiscard]] Graph gen_disjoint_paths(Vertex count, Vertex path_len);
+
+/// "Hard chain" instance: disjoint odd paths of length 2k+1 whose greedy
+/// matching leaves a length-(2k+1) augmenting path per gadget; stresses the
+/// framework's long-augmentation machinery at scale eps ~ 1/k.
+[[nodiscard]] Graph gen_augmenting_chains(Vertex gadgets, Vertex k);
+
+/// gen_augmenting_chains with vertex labels chosen so that *sorted-order
+/// greedy* provably picks the k middle edges of every gadget, leaving exactly
+/// one augmenting path of length 2k+1 per gadget (matching k vs optimum k+1).
+/// This is the worst-case input for Theta(1)-approximate bootstrapping: the
+/// boosting framework must recover a full 1/(k+1) fraction of mu through
+/// length-(2k+1) augmentations.
+[[nodiscard]] Graph gen_adversarial_chains(Vertex gadgets, Vertex k);
+
+/// Disjoint union of `count` odd cycles of length `cycle_len` (must be odd,
+/// >= 3); every cycle forces a blossom in any optimal search.
+[[nodiscard]] Graph gen_odd_cycles(Vertex count, Vertex cycle_len);
+
+/// Random d-regular-ish multigraph made simple: d*n/2 edge slots sampled by
+/// configuration-model pairing with collision rejection.
+[[nodiscard]] Graph gen_near_regular(Vertex n, Vertex d, Rng& rng);
+
+/// Two cliques of size k joined by a perfect matching between them; dense
+/// instance where blossoms abound.
+[[nodiscard]] Graph gen_clique_pair(Vertex k);
+
+}  // namespace bmf

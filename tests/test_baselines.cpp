@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mcgregor.hpp"
+#include "matching/blossom_exact.hpp"
+#include "matching/greedy.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(McGregor, ScheduleIsExponentialInOneOverEps) {
+  McGregorConfig c2, c4;
+  c2.eps = 0.5;   // k = 2 -> (2k)^k = 16
+  c4.eps = 0.25;  // k = 4 -> (2k)^k = 4096
+  Matching dummy(0);
+  const Graph g0 = make_graph(0, {});
+  const auto s2 = mcgregor_boost(g0, dummy, c2);
+  const auto s4 = mcgregor_boost(g0, dummy, c4);
+  EXPECT_EQ(s2.scheduled_repetitions, 16);
+  EXPECT_EQ(s4.scheduled_repetitions, 4096);
+}
+
+class McGregorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McGregorTest, BoostsChains) {
+  const Graph g = gen_augmenting_chains(8, 2);
+  McGregorConfig cfg;
+  cfg.eps = 0.34;  // k = 3 covers length-5 augmenting paths
+  cfg.seed = GetParam();
+  cfg.stall_limit = 64;
+  auto [m, stats] = mcgregor_matching(g, cfg);
+  EXPECT_TRUE(m.is_valid_in(g));
+  const std::int64_t mu = maximum_matching_size(g);
+  EXPECT_GE(static_cast<double>(m.size()) * (1.0 + cfg.eps),
+            static_cast<double>(mu));
+  EXPECT_GT(stats.repetitions, 0);
+}
+
+TEST_P(McGregorTest, BoostsRandomGraphs) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(80, 240, rng);
+  McGregorConfig cfg;
+  cfg.eps = 0.5;
+  cfg.seed = GetParam();
+  cfg.stall_limit = 32;
+  auto [m, stats] = mcgregor_matching(g, cfg);
+  EXPECT_TRUE(m.is_valid_in(g));
+  EXPECT_GE(static_cast<double>(m.size()) * 1.5,
+            static_cast<double>(maximum_matching_size(g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McGregorTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(McGregor, AugmentationsImproveOverGreedy) {
+  // On the chain gadgets greedy is strictly suboptimal; McGregor must find
+  // at least one augmentation.
+  const Graph g = gen_disjoint_paths(10, 3);
+  Matching m(g.num_vertices());
+  // Adversarial greedy: match the middle edge of every path.
+  for (Vertex c = 0; c < 10; ++c) m.add(c * 4 + 1, c * 4 + 2);
+  McGregorConfig cfg;
+  cfg.eps = 0.5;
+  cfg.stall_limit = 32;
+  const auto stats = mcgregor_boost(g, m, cfg);
+  EXPECT_EQ(m.size(), 20);  // all paths augmented to 2 edges
+  EXPECT_GE(stats.augmentations, 10);
+}
+
+}  // namespace
+}  // namespace bmf

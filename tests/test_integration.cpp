@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "dynamic/static_weak.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "matching/blossom_exact.hpp"
+#include "matching/greedy.hpp"
+#include "stream/streaming_matcher.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Three-way differential: framework vs streaming vs static-weak vs exact.
+// ---------------------------------------------------------------------------
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+Graph diff_family(int family, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case 0: return gen_random_graph(90, 270, rng);
+    case 1: return gen_random_bipartite(45, 45, 200, rng);
+    case 2: return gen_planted_matching(80, 120, rng);
+    case 3: return gen_adversarial_chains(8, 3);
+    default: return gen_odd_cycles(5, 7);
+  }
+}
+
+TEST_P(DifferentialTest, AllPipelinesMeetTheSameGuarantee) {
+  const auto [family, seed] = GetParam();
+  const Graph g = diff_family(family, seed);
+  const std::int64_t mu = maximum_matching_size(g);
+  const double eps = 0.25;
+
+  CoreConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+
+  GreedyMatchingOracle oracle;
+  const BoostResult fw = boost_matching(g, oracle, cfg);
+  const StreamingResult st = streaming_matching(g, cfg);
+  MatrixWeakOracle weak = MatrixWeakOracle::from_graph(g);
+  WeakSimConfig wcfg;
+  wcfg.core = cfg;
+  const WeakBoostResult wk = static_weak_matching(g, weak, wcfg);
+
+  for (const std::int64_t size :
+       {fw.matching.size(), st.matching.size(), wk.matching.size()}) {
+    EXPECT_GE(static_cast<double>(size) * (1.0 + eps), static_cast<double>(mu));
+  }
+  // Certified runs are exact whenever mu admits no long augmenting paths;
+  // on these families a certificate plus the guarantee pins all three
+  // within one augmentation of each other.
+  if (fw.outcome.certified && st.outcome.certified) {
+    EXPECT_EQ(fw.matching.size(), st.matching.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1u, 2u, 7u)));
+
+// ---------------------------------------------------------------------------
+// Structure-forest fuzzing: random valid operation sequences keep every
+// invariant intact and recorded paths valid.
+// ---------------------------------------------------------------------------
+
+struct OpCandidate {
+  enum Kind { kOvertake, kContract, kAugment } kind;
+  Vertex u, v;
+  int k;
+};
+
+std::vector<OpCandidate> enumerate_ops(const StructureForest& f, const Graph& g) {
+  std::vector<OpCandidate> ops;
+  for (const Edge& e : g.edges()) {
+    for (const auto& [u, v] : {std::pair<Vertex, Vertex>{e.u, e.v},
+                               std::pair<Vertex, Vertex>{e.v, e.u}}) {
+      if (f.structure_of(u) == kNoStructure || f.is_removed(u) ||
+          f.is_removed(v))
+        continue;
+      const StructureInfo& s = f.structure(f.structure_of(u));
+      if (s.working != kNoBlossom && s.working == f.omega(u)) {
+        const int k = f.outer_level(s.working) + 1;
+        if (f.can_overtake(u, v, k)) ops.push_back({OpCandidate::kOvertake, u, v, k});
+        if (f.can_contract(u, v)) ops.push_back({OpCandidate::kContract, u, v, 0});
+      }
+      if (f.can_augment(u, v)) ops.push_back({OpCandidate::kAugment, u, v, 0});
+    }
+  }
+  return ops;
+}
+
+class ForestFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestFuzzTest, RandomOperationSequencesKeepInvariants) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(40, 120, rng);
+  Matching m = random_greedy_matching(g, rng);
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  cfg.check_invariants = true;
+  StructureForest f(g, m, cfg);
+  f.init_phase();
+  f.begin_pass_bundle(1000);
+
+  int steps = 0;
+  int bundles = 0;
+  while (steps < 300 && bundles < 20) {
+    const auto ops = enumerate_ops(f, g);
+    if (ops.empty()) {
+      f.backtrack_stuck();
+      if (f.ops_this_bundle() == 0) break;
+      f.begin_pass_bundle(1000);
+      ++bundles;
+      continue;
+    }
+    const auto& op = ops[static_cast<std::size_t>(rng.next_below(ops.size()))];
+    switch (op.kind) {
+      case OpCandidate::kOvertake: f.overtake(op.u, op.v, op.k); break;
+      case OpCandidate::kContract: f.contract(op.u, op.v); break;
+      case OpCandidate::kAugment: f.augment(op.u, op.v); break;
+    }
+    f.check_invariants();
+    ++steps;
+    // Occasionally start a new pass-bundle so extended flags reset and the
+    // fuzz explores multi-bundle interleavings.
+    if (steps % 17 == 0) {
+      f.begin_pass_bundle(steps % 34 == 0 ? 5 : 1000);  // sometimes hold
+      ++bundles;
+    }
+  }
+  // Every recorded path must be a valid disjoint augmenting path; applying
+  // them must grow the matching accordingly.
+  const std::int64_t before = m.size();
+  for (const auto& p : f.recorded_paths()) {
+    ASSERT_TRUE(is_augmenting_path(g, m, p));
+    m.augment(p);
+  }
+  EXPECT_EQ(m.size(),
+            before + static_cast<std::int64_t>(f.recorded_paths().size()));
+  EXPECT_TRUE(m.is_valid_in(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Failure injection: lossy-but-in-contract oracles keep the guarantee;
+// out-of-contract oracles must not produce a (false) certificate.
+// ---------------------------------------------------------------------------
+
+/// Returns only every other edge of a maximal matching (still Theta(1)-approx
+/// and non-empty whenever H has an edge).
+class LossyOracle final : public MatchingOracle {
+ public:
+  [[nodiscard]] double approx_factor() const override { return 4.0; }
+
+ protected:
+  OracleMatching find_impl(const OracleGraph& h) override {
+    OracleMatching full = greedy_oracle_matching(h);
+    OracleMatching out;
+    for (std::size_t i = 0; i < full.size(); i += 2) out.push_back(full[i]);
+    if (out.empty() && !full.empty()) out.push_back(full.front());
+    return out;
+  }
+};
+
+/// Violates Definition 5.1: always answers with the empty matching.
+class BrokenEmptyOracle final : public MatchingOracle {
+ public:
+  [[nodiscard]] double approx_factor() const override { return 2.0; }
+
+ protected:
+  OracleMatching find_impl(const OracleGraph&) override { return {}; }
+};
+
+TEST(FailureInjection, LossyOracleStillMeetsGuarantee) {
+  Rng rng(3);
+  const Graph g = gen_random_graph(80, 240, rng);
+  LossyOracle oracle;
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  cfg.check_invariants = true;
+  const BoostResult r = boost_matching(g, oracle, cfg);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+}
+
+TEST(FailureInjection, BrokenOracleNeverFalselyCertifies) {
+  Rng rng(5);
+  const Graph g = gen_random_graph(60, 180, rng);
+  BrokenEmptyOracle oracle;
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  const BoostResult r = boost_matching(g, oracle, cfg);
+  // With an empty-answer oracle nothing is matched at all; the framework
+  // must notice the contract violation and withhold the certificate.
+  EXPECT_EQ(r.matching.size(), 0);
+  EXPECT_FALSE(r.outcome.certified);
+  EXPECT_GT(r.stats.truncated_loops, 0);
+}
+
+TEST(FailureInjection, LossyWeakOracleKeepsDynamicGuarantee) {
+  // A_weak that drops half of each answer (still within Definition 6.1 for a
+  // smaller lambda).
+  class LossyWeak final : public WeakOracle {
+   public:
+    explicit LossyWeak(Vertex n) : inner_(n) {}
+    [[nodiscard]] double lambda() const override { return 0.25; }
+    void on_insert(Vertex u, Vertex v) override { inner_.on_insert(u, v); }
+    void on_erase(Vertex u, Vertex v) override { inner_.on_erase(u, v); }
+
+   protected:
+    WeakQueryResult query_impl(std::span<const Vertex> s, double delta) override {
+      WeakQueryResult r = inner_.query(s, delta);
+      thin(r);
+      return r;
+    }
+    WeakQueryResult query_cover_impl(std::span<const Vertex> p,
+                                     std::span<const Vertex> m,
+                                     double delta) override {
+      WeakQueryResult r = inner_.query_cover(p, m, delta);
+      thin(r);
+      return r;
+    }
+
+   private:
+    static void thin(WeakQueryResult& r) {
+      std::vector<Edge> kept;
+      for (std::size_t i = 0; i < r.matching.size(); i += 2)
+        kept.push_back(r.matching[i]);
+      if (kept.empty() && !r.matching.empty()) kept.push_back(r.matching.front());
+      r.matching = std::move(kept);
+    }
+    MatrixWeakOracle inner_;
+  };
+
+  Rng rng(7);
+  const Graph g = gen_planted_matching(60, 90, rng);
+  LossyWeak oracle(g.num_vertices());
+  for (const Edge& e : g.edges()) oracle.on_insert(e.u, e.v);
+  WeakSimConfig cfg;
+  cfg.core.eps = 0.25;
+  const WeakBoostResult r = static_weak_matching(g, oracle, cfg);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+}
+
+// ---------------------------------------------------------------------------
+// Scale smoke: a larger certified run is exactly optimal on planted input.
+// ---------------------------------------------------------------------------
+
+TEST(Integration, LargePlantedRunIsExactWhenCertified) {
+  Rng rng(2);
+  const Graph g = gen_planted_matching(2000, 6000, rng);
+  GreedyMatchingOracle oracle;
+  CoreConfig cfg;
+  cfg.eps = 0.1;
+  const BoostResult r = boost_matching(g, oracle, cfg);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.1, 1000.0);
+  if (r.outcome.certified) {
+    EXPECT_EQ(r.matching.size(), 1000);
+  }
+}
+
+}  // namespace
+}  // namespace bmf

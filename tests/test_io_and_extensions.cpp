@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dynamic/partial_dynamic.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "io/graph_io.hpp"
+#include "matching/augmenting.hpp"
+#include "matching/blossom_exact.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "stream/streaming_matcher.hpp"
+#include "workloads/dyn_workload.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IO
+// ---------------------------------------------------------------------------
+
+TEST(GraphIo, EdgeListRoundtrip) {
+  Rng rng(3);
+  const Graph g = gen_random_graph(30, 80, rng);
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  const Graph back = read_edge_list(buf);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+}
+
+TEST(GraphIo, EdgeListCommentsAndHeader) {
+  std::stringstream in("# a comment\n# vertices 7\n0 1\n2 3\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(GraphIo, EdgeListMalformedRejected) {
+  std::stringstream bad1("0\n");
+  EXPECT_THROW((void)read_edge_list(bad1), std::invalid_argument);
+  std::stringstream bad2("0 -2\n");
+  EXPECT_THROW((void)read_edge_list(bad2), std::invalid_argument);
+}
+
+TEST(GraphIo, WeightedEdgeList) {
+  std::stringstream in("# vertices 4\n0 1 2.5\n2 3\n");
+  const WeightedGraph wg = read_weighted_edge_list(in);
+  EXPECT_EQ(wg.n, 4);
+  ASSERT_EQ(wg.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(wg.edges[0].w, 2.5);
+  EXPECT_DOUBLE_EQ(wg.edges[1].w, 1.0);  // default weight
+}
+
+TEST(GraphIo, DimacsRoundtrip) {
+  Rng rng(5);
+  const Graph g = gen_random_graph(25, 60, rng);
+  std::stringstream buf;
+  write_dimacs(buf, g);
+  const Graph back = read_dimacs(buf);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+TEST(GraphIo, DimacsValidation) {
+  std::stringstream no_p("e 1 2\n");
+  EXPECT_THROW((void)read_dimacs(no_p), std::invalid_argument);
+  std::stringstream out_of_range("p edge 3 1\ne 1 9\n");
+  EXPECT_THROW((void)read_dimacs(out_of_range), std::invalid_argument);
+  std::stringstream count_mismatch("p edge 3 2\ne 1 2\n");
+  EXPECT_THROW((void)read_dimacs(count_mismatch), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Augmenting-path diagnostics + independent certificate verification
+// ---------------------------------------------------------------------------
+
+TEST(Augmenting, ShortestPathLengthOnKnownInstances) {
+  // Path 0-1-2-3, {1,2} matched: unique augmenting path has length 3.
+  const Graph p4 = make_graph(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto side = bipartition(p4);
+  ASSERT_TRUE(side.has_value());
+  Matching m(4);
+  m.add(1, 2);
+  EXPECT_EQ(bipartite_shortest_augmenting_path_length(p4, *side, m), 3);
+  m.remove_at(1);
+  EXPECT_EQ(bipartite_shortest_augmenting_path_length(p4, *side, m), 1);
+  // Maximum matching: no augmenting path.
+  m = hopcroft_karp(p4);
+  EXPECT_EQ(bipartite_shortest_augmenting_path_length(p4, *side, m), -1);
+}
+
+TEST(Augmenting, DeficitMatchesExact) {
+  Rng rng(7);
+  const Graph g = gen_random_graph(40, 120, rng);
+  const Matching greedy = greedy_maximal_matching(g);
+  EXPECT_EQ(augmenting_deficit(g, greedy),
+            maximum_matching_size(g) - greedy.size());
+}
+
+class CertificateCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertificateCrossCheck, CertifiedRunsHaveNoShortAugmentingPath) {
+  // Independent verification of Theorem B.4: after a certified run on a
+  // bipartite graph, the exact shortest augmenting path must be longer than
+  // l_max = 3/eps (or absent).
+  Rng rng(GetParam());
+  const Graph g = gen_random_bipartite(40, 40, 160, rng);
+  const auto side = bipartition(g);
+  ASSERT_TRUE(side.has_value());
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  cfg.seed = GetParam();
+  GreedyMatchingOracle oracle;
+  const BoostResult r = boost_matching(g, oracle, cfg);
+  if (!r.outcome.certified) GTEST_SKIP() << "run ended without certificate";
+  const std::int64_t len =
+      bipartite_shortest_augmenting_path_length(g, *side, r.matching);
+  EXPECT_TRUE(len == -1 || len > cfg.ell_max())
+      << "certificate violated: augmenting path of length " << len;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateCrossCheck,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CertificateCrossCheck, StreamingCertificateAlsoVerified) {
+  Rng rng(11);
+  const Graph g = gen_random_bipartite(35, 35, 140, rng);
+  const auto side = bipartition(g);
+  ASSERT_TRUE(side.has_value());
+  CoreConfig cfg;
+  cfg.eps = 0.2;
+  const StreamingResult r = streaming_matching(g, cfg);
+  if (r.outcome.certified) {
+    const std::int64_t len =
+        bipartite_shortest_augmenting_path_length(g, *side, r.matching);
+    EXPECT_TRUE(len == -1 || len > cfg.ell_max());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental / decremental matchers
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalMatcher, InsertOnlyStreamStaysApproximate) {
+  const Vertex n = 60;
+  MatrixWeakOracle oracle(n);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  IncrementalMatcher inc(n, oracle, cfg);
+  Rng rng(3);
+  const auto updates = dyn_random_updates(n, 250, 1.0, rng);
+  for (const EdgeUpdate& up : updates) inc.insert(up.u, up.v);
+  const Graph snapshot = inc.graph().snapshot();
+  EXPECT_TRUE(inc.matching().is_valid_in(snapshot));
+  EXPECT_GE(static_cast<double>(inc.matching().size()) * 1.25,
+            static_cast<double>(maximum_matching_size(snapshot)));
+  EXPECT_GT(inc.rebuilds(), 0);
+}
+
+TEST(DecrementalMatcher, DeleteOnlyStreamKeepsMaximalFloor) {
+  Rng rng(5);
+  const Graph g = gen_random_graph(50, 200, rng);
+  MatrixWeakOracle oracle(g.num_vertices());
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  DecrementalMatcher dec(g, oracle, cfg);
+  EXPECT_EQ(dec.graph().num_edges(), g.num_edges());
+  EXPECT_THROW(dec.erase(0, 0), std::invalid_argument);
+
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  Rng order(7);
+  order.shuffle(edges);
+  std::int64_t step = 0;
+  for (const Edge& e : edges) {
+    dec.erase(e.u, e.v);
+    if (++step % 40 == 0) {
+      const Graph snapshot = dec.graph().snapshot();
+      ASSERT_TRUE(dec.matching().is_valid_in(snapshot));
+      ASSERT_TRUE(dec.matching().is_maximal_in(snapshot));
+    }
+  }
+  EXPECT_EQ(dec.graph().num_edges(), 0);
+  EXPECT_EQ(dec.matching().size(), 0);
+  EXPECT_EQ(dec.updates(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace bmf

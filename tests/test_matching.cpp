@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "matching/blossom_exact.hpp"
+#include "matching/brute_force.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/matching.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(Matching, AddRemoveBookkeeping) {
+  Matching m(4);
+  m.add(0, 1);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_EQ(m.mate(0), 1);
+  EXPECT_TRUE(m.has(1, 0));
+  m.remove_at(1);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(m.is_free(0));
+}
+
+TEST(Matching, AugmentFlipsAlternation) {
+  // Path 0-1-2-3 with {1,2} matched; augmenting along 0,1,2,3 yields 2 edges.
+  const Graph g = make_graph(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  Matching m(4);
+  m.add(1, 2);
+  const std::vector<Vertex> path{0, 1, 2, 3};
+  EXPECT_TRUE(is_augmenting_path(g, m, path));
+  m.augment(path);
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_TRUE(m.has(2, 3));
+  EXPECT_TRUE(m.is_valid_in(g));
+}
+
+TEST(Matching, AugmentLengthOne) {
+  const Graph g = make_graph(2, std::vector<Edge>{{0, 1}});
+  Matching m(2);
+  const std::vector<Vertex> path{0, 1};
+  EXPECT_TRUE(is_augmenting_path(g, m, path));
+  m.augment(path);
+  EXPECT_EQ(m.size(), 1);
+}
+
+TEST(Matching, AugmentingPathRejectsBadPaths) {
+  const Graph g = make_graph(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  Matching m(4);
+  m.add(1, 2);
+  EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 1}));     // endpoint matched
+  EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 2, 1, 3}));  // non-edges
+  EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 1, 2}));  // odd vertices
+}
+
+TEST(Matching, FreeVerticesAndEdgeList) {
+  Matching m(5);
+  m.add(1, 3);
+  EXPECT_EQ(m.free_vertices(), (std::vector<Vertex>{0, 2, 4}));
+  const auto edges = m.edge_list();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].u, 1);
+  EXPECT_EQ(edges[0].v, 3);
+}
+
+class MatchingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingPropertyTest, GreedyIsMaximalAndHalfApprox) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(60, 150, rng);
+  const Matching m = greedy_maximal_matching(g);
+  EXPECT_TRUE(m.is_valid_in(g));
+  EXPECT_TRUE(m.is_maximal_in(g));
+  const std::int64_t mu = maximum_matching_size(g);
+  EXPECT_GE(2 * m.size(), mu);
+}
+
+TEST_P(MatchingPropertyTest, RandomGreedyIsMaximal) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(60, 200, rng);
+  Rng rng2(GetParam() + 1000);
+  const Matching m = random_greedy_matching(g, rng2);
+  EXPECT_TRUE(m.is_valid_in(g));
+  EXPECT_TRUE(m.is_maximal_in(g));
+}
+
+TEST_P(MatchingPropertyTest, BlossomMatchesBruteForceGeneral) {
+  Rng rng(GetParam());
+  for (Vertex n = 4; n <= 14; n += 2) {
+    const Graph g = gen_random_graph(n, n * 2, rng);
+    const Matching m = blossom_maximum_matching(g);
+    EXPECT_TRUE(m.is_valid_in(g));
+    EXPECT_EQ(m.size(), brute_force_matching_size(g)) << "n=" << n;
+  }
+}
+
+TEST_P(MatchingPropertyTest, HopcroftKarpMatchesBlossomOnBipartite) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_bipartite(25, 25, 120, rng);
+  const Matching hk = hopcroft_karp(g);
+  EXPECT_TRUE(hk.is_valid_in(g));
+  EXPECT_EQ(hk.size(), maximum_matching_size(g));
+}
+
+TEST_P(MatchingPropertyTest, BlossomSeededFromInitialMatching) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(40, 120, rng);
+  const Matching greedy = greedy_maximal_matching(g);
+  const Matching m = blossom_maximum_matching(g, greedy);
+  EXPECT_TRUE(m.is_valid_in(g));
+  EXPECT_EQ(m.size(), maximum_matching_size(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+TEST(BlossomExact, OddCyclesNeedBlossoms) {
+  const Graph g = gen_odd_cycles(3, 5);  // mu = 2 per C5
+  EXPECT_EQ(maximum_matching_size(g), 6);
+}
+
+TEST(BlossomExact, PetersenLikeGadget) {
+  // Triangle with pendant: classic blossom case. mu = 2.
+  const Graph g =
+      make_graph(5, std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  EXPECT_EQ(maximum_matching_size(g), 2);
+}
+
+TEST(BlossomExact, PerfectOnPlanted) {
+  Rng rng(5);
+  const Graph g = gen_planted_matching(40, 0, rng);
+  EXPECT_EQ(maximum_matching_size(g), 20);
+}
+
+TEST(BlossomExact, EmptyAndSingleton) {
+  const Graph g0 = make_graph(0, {});
+  EXPECT_EQ(maximum_matching_size(g0), 0);
+  const Graph g1 = make_graph(3, {});
+  EXPECT_EQ(maximum_matching_size(g1), 0);
+}
+
+TEST(HopcroftKarp, RejectsNonBipartite) {
+  const Graph g = gen_odd_cycles(1, 3);
+  EXPECT_FALSE(bipartition(g).has_value());
+  EXPECT_THROW(hopcroft_karp(g), std::invalid_argument);
+}
+
+TEST(HopcroftKarp, PerfectOnEvenCycle) {
+  GraphBuilder b(6);
+  for (Vertex i = 0; i < 6; ++i) b.add_edge(i, (i + 1) % 6);
+  const Graph g = b.build();
+  EXPECT_EQ(hopcroft_karp(g).size(), 3);
+}
+
+TEST(GreedyIn, RespectsAllowedMask) {
+  const Graph g = make_graph(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  const std::vector<std::uint8_t> allowed{1, 1, 0, 1};
+  const Matching m = greedy_maximal_matching_in(g, allowed);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_TRUE(m.has(0, 1));
+  EXPECT_TRUE(m.is_free(2));
+}
+
+}  // namespace
+}  // namespace bmf

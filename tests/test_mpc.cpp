@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "matching/blossom_exact.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/mpc_boost.hpp"
+#include "mpc/mpc_matching.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf::mpc {
+namespace {
+
+TEST(Cluster, SuperstepDeliversMessages) {
+  Cluster c({4, 0});
+  // Round 1: machine 0 sends its id to everyone.
+  c.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
+    if (m == 0)
+      for (int d = 0; d < 4; ++d) send(d, {42, static_cast<std::uint64_t>(m), 0});
+  });
+  // Round 2: everyone checks the inbox.
+  int received = 0;
+  c.superstep([&](int, const Cluster::Inbox& inbox, const Cluster::Sender&) {
+    for (const Msg& msg : inbox) {
+      EXPECT_EQ(msg.tag, 42u);
+      ++received;
+    }
+  });
+  EXPECT_EQ(received, 4);
+  EXPECT_EQ(c.rounds(), 2);
+  EXPECT_EQ(c.messages_sent(), 4);
+}
+
+TEST(Cluster, MemoryViolationsCounted) {
+  Cluster c({2, 6});  // 6 words = 2 messages
+  c.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
+    if (m == 0)
+      for (int i = 0; i < 5; ++i) send(1, {1, 0, 0});
+  });
+  EXPECT_GT(c.violations(), 0);
+}
+
+TEST(Cluster, OwnerIsDeterministicAndInRange) {
+  Cluster c({7, 0});
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const int o = c.owner(k);
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 7);
+    EXPECT_EQ(o, c.owner(k));
+  }
+}
+
+OracleGraph to_oracle_graph(const Graph& g) {
+  OracleGraph h;
+  h.n = g.num_vertices();
+  for (const Edge& e : g.edges()) h.edges.emplace_back(e.u, e.v);
+  return h;
+}
+
+class MpcMatchingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpcMatchingTest, ProducesMaximalMatching) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(80, 240, rng);
+  Cluster c({6, 0});
+  Rng orng(GetParam() + 99);
+  const MpcMatchingResult r = mpc_maximal_matching(c, to_oracle_graph(g), orng);
+
+  Matching m(g.num_vertices());
+  for (const auto& [u, v] : r.matching) m.add(u, v);
+  EXPECT_TRUE(m.is_valid_in(g));
+  EXPECT_TRUE(m.is_maximal_in(g));
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_EQ(c.violations(), 0);
+  // O(log m) iterations w.h.p.; allow a generous constant.
+  EXPECT_LE(r.iterations, 10 * 8 + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpcMatchingTest, ::testing::Values(1, 2, 3, 4, 17));
+
+TEST(MpcMatchingOracle, CountsRoundsAcrossInvocations) {
+  Rng rng(5);
+  const Graph g = gen_random_graph(40, 100, rng);
+  MpcMatchingOracle oracle({4, 0}, 11);
+  (void)oracle.find_matching(to_oracle_graph(g));
+  const std::int64_t after_one = oracle.rounds();
+  EXPECT_GT(after_one, 0);
+  (void)oracle.find_matching(to_oracle_graph(g));
+  EXPECT_GT(oracle.rounds(), after_one);
+  EXPECT_EQ(oracle.calls(), 2);
+}
+
+TEST(MpcBoost, MeetsGuaranteeAndAccountsRounds) {
+  Rng rng(7);
+  const Graph g = gen_planted_matching(120, 240, rng);
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  const MpcBoostResult r = mpc_boost_matching(g, {8, 0}, cfg);
+  EXPECT_GE(static_cast<double>(r.boost.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+  EXPECT_GT(r.oracle_rounds, 0);
+  EXPECT_EQ(r.process_rounds,
+            kProcessRoundsPerBundle * r.boost.outcome.pass_bundles);
+  EXPECT_EQ(r.total_rounds(), r.oracle_rounds + r.process_rounds);
+}
+
+TEST(MpcBoost, ChainsWithBlossoms) {
+  const Graph g = gen_odd_cycles(5, 5);
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  const MpcBoostResult r = mpc_boost_matching(g, {4, 0}, cfg);
+  EXPECT_GE(static_cast<double>(r.boost.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+}
+
+}  // namespace
+}  // namespace bmf::mpc

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "dynamic/static_weak.hpp"
+#include "matching/blossom_exact.hpp"
+#include "omv/offline.hpp"
+#include "omv/omv.hpp"
+#include "omv/omv_weak.hpp"
+#include "workloads/dyn_workload.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(DynamicOMv, QueryMatchesNaiveProduct) {
+  Rng rng(3);
+  const std::int64_t n = 70;
+  DynamicOMv omv(n);
+  std::vector<std::vector<bool>> ref(static_cast<std::size_t>(n),
+                                     std::vector<bool>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < 500; ++i) {
+    const auto r = static_cast<std::int64_t>(rng.next_below(n));
+    const auto c = static_cast<std::int64_t>(rng.next_below(n));
+    const bool b = rng.next_bool(0.7);
+    omv.update(r, c, b);
+    ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = b;
+  }
+  BitVec v(n), out(n);
+  for (int i = 0; i < 20; ++i) v.set(static_cast<std::int64_t>(rng.next_below(n)));
+  omv.query(v, out);
+  for (std::int64_t r = 0; r < n; ++r) {
+    bool expect = false;
+    for (std::int64_t c = 0; c < n; ++c)
+      expect |= ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] &&
+                v.get(c);
+    EXPECT_EQ(out.get(r), expect);
+  }
+  EXPECT_EQ(omv.updates(), 500);
+  EXPECT_EQ(omv.queries(), 1);
+  EXPECT_GT(omv.words_touched(), 0);
+}
+
+TEST(DynamicOMv, ProbeRowRespectsMask) {
+  DynamicOMv omv(100);
+  omv.update(5, 80, true);
+  omv.update(5, 10, true);
+  BitVec mask(100);
+  mask.set(80);
+  EXPECT_EQ(omv.probe_row(5, mask), 80);
+  mask.set(10);
+  EXPECT_EQ(omv.probe_row(5, mask), 10);
+  EXPECT_EQ(omv.probe_row(6, mask), -1);
+}
+
+TEST(OMvWeakOracle, QueryReturnsValidMatchingWithLambdaTwelfth) {
+  Rng rng(5);
+  const Graph g = gen_planted_matching(48, 96, rng);
+  OMvWeakOracle oracle = OMvWeakOracle::from_graph(g);
+  std::vector<Vertex> all(48);
+  for (Vertex v = 0; v < 48; ++v) all[static_cast<std::size_t>(v)] = v;
+  const WeakQueryResult res = oracle.query(all, 0.0);
+  Matching m(48);
+  for (const Edge& e : res.matching) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    m.add(e.u, e.v);
+  }
+  // lambda = 1/12 against mu(G[S]) = 24.
+  EXPECT_GE(12 * m.size(), maximum_matching_size(g));
+}
+
+class OMvWeakBoostTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OMvWeakBoostTest, StaticBoostViaOMvOracle) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(70, 210, rng);
+  OMvWeakOracle oracle = OMvWeakOracle::from_graph(g);
+  WeakSimConfig cfg;
+  cfg.core.eps = 0.25;
+  cfg.core.seed = GetParam();
+  const WeakBoostResult r = static_weak_matching(g, oracle, cfg);
+  ASSERT_TRUE(r.matching.is_valid_in(g));
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+  EXPECT_GT(oracle.engine().words_touched(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OMvWeakBoostTest, ::testing::Values(1, 2, 3));
+
+TEST(OfflineWeakOracle, PatchedRowsMatchDirectMaintenance) {
+  Rng rng(7);
+  const Vertex n = 50;
+  OfflineWeakOracle offline(n);
+  MatrixWeakOracle online(n);
+  const auto updates = dyn_random_updates(n, 400, 0.6, rng);
+  std::int64_t step = 0;
+  for (const EdgeUpdate& up : updates) {
+    if (up.insert) {
+      offline.on_insert(up.u, up.v);
+      online.on_insert(up.u, up.v);
+    } else {
+      offline.on_erase(up.u, up.v);
+      online.on_erase(up.u, up.v);
+    }
+    if (++step % 100 == 0) offline.rebase();
+    if (step % 37 == 0) {
+      std::vector<Vertex> s;
+      for (Vertex v = 0; v < n; v += 2) s.push_back(v);
+      const auto a = offline.query(s, 0.0);
+      const auto b = online.query(s, 0.0);
+      // Both are greedy maximal over the same adjacency: identical results.
+      EXPECT_EQ(a.matching.size(), b.matching.size());
+    }
+  }
+  EXPECT_GT(offline.rebases(), 0);
+}
+
+TEST(OfflineWeakOracle, HasEdgeThroughToggles) {
+  OfflineWeakOracle oracle(10);
+  EXPECT_FALSE(oracle.has_edge(1, 2));
+  oracle.on_insert(1, 2);
+  EXPECT_TRUE(oracle.has_edge(1, 2));
+  EXPECT_TRUE(oracle.has_edge(2, 1));
+  oracle.rebase();
+  EXPECT_TRUE(oracle.has_edge(1, 2));
+  EXPECT_EQ(oracle.diff_size(), 0);
+  oracle.on_erase(1, 2);
+  EXPECT_FALSE(oracle.has_edge(1, 2));
+  EXPECT_EQ(oracle.diff_size(), 1);
+}
+
+TEST(OfflineDynamic, TheoremSevenFifteenPipeline) {
+  const Vertex n = 40;
+  Rng rng(11);
+  const auto updates = dyn_random_updates(n, 240, 0.8, rng);
+  WeakSimConfig sim;
+  sim.core.eps = 0.25;
+  const OfflineDynamicResult result =
+      offline_dynamic_matching(n, updates, /*chunk=*/40, /*t_block=*/3, sim);
+  ASSERT_EQ(result.matching_sizes.size(), 6u);
+  EXPECT_GT(result.weak_calls, 0);
+  EXPECT_GT(result.rebases, 0);
+
+  // Replay to validate each post-chunk matching size against exact mu.
+  DynGraph g(n);
+  std::size_t chunk_idx = 0;
+  std::int64_t in_chunk = 0;
+  for (const EdgeUpdate& up : updates) {
+    if (!up.empty()) {
+      if (up.insert)
+        g.insert(up.u, up.v);
+      else
+        g.erase(up.u, up.v);
+    }
+    if (++in_chunk == 40) {
+      in_chunk = 0;
+      const std::int64_t mu = maximum_matching_size(g.snapshot());
+      EXPECT_GE(static_cast<double>(result.matching_sizes[chunk_idx]) * 1.25,
+                static_cast<double>(mu))
+          << "chunk " << chunk_idx;
+      ++chunk_idx;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bmf

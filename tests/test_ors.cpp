@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "matching/blossom_exact.hpp"
+#include "ors/ors.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(Ors, TrivialConstructionVerifies) {
+  const OrsGraph ors = ors_trivial(40, 4, 5);
+  EXPECT_EQ(ors.t(), 5);
+  EXPECT_EQ(ors.r(), 4);
+  EXPECT_TRUE(verify_ors(ors));
+  const Graph g = ors.graph();
+  EXPECT_EQ(g.num_edges(), 20);
+}
+
+TEST(Ors, VerifierRejectsNonMatching) {
+  OrsGraph bad;
+  bad.n = 4;
+  bad.matchings = {{{0, 1}, {1, 2}}};  // shares vertex 1
+  EXPECT_FALSE(verify_ors(bad));
+}
+
+TEST(Ors, VerifierRejectsSizeMismatch) {
+  OrsGraph bad;
+  bad.n = 8;
+  bad.matchings = {{{0, 1}, {2, 3}}, {{4, 5}}};  // r differs
+  EXPECT_FALSE(verify_ors(bad));
+}
+
+TEST(Ors, VerifierRejectsSuffixViolation) {
+  // M_1 = {0-1, 2-3}; a later matching provides the cross edge 1-2, which is
+  // an edge of the suffix connecting two M_1-covered vertices.
+  OrsGraph bad;
+  bad.n = 6;
+  bad.matchings = {{{0, 1}, {2, 3}}, {{1, 2}, {4, 5}}};
+  EXPECT_FALSE(verify_ors(bad));
+}
+
+TEST(Ors, OrderMattersForSuffixInducedness) {
+  // The same matchings in the other order are valid: the earlier matching is
+  // only constrained by its suffix.
+  OrsGraph good;
+  good.n = 6;
+  good.matchings = {{{1, 2}, {4, 5}}, {{0, 1}, {2, 3}}};
+  EXPECT_TRUE(verify_ors(good));
+}
+
+class OrsGreedyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrsGreedyTest, GreedyConstructionVerifies) {
+  Rng rng(GetParam());
+  const OrsGraph ors = ors_greedy_random(60, 6, 10, rng);
+  EXPECT_GT(ors.t(), 0);
+  EXPECT_TRUE(verify_ors(ors));
+  for (const auto& mi : ors.matchings) EXPECT_EQ(mi.size(), 6u);
+}
+
+TEST_P(OrsGreedyTest, GreedyBeatsTrivialDensity) {
+  // The greedy ordered construction packs more matchings than the trivial
+  // disjoint one on the same vertex budget (t_trivial = n/(2r) = 5).
+  Rng rng(GetParam());
+  const OrsGraph ors = ors_greedy_random(60, 6, 24, rng);
+  EXPECT_GT(ors.t(), 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrsGreedyTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Ors, UpdateSequenceDrivesDynamicMatcher) {
+  Rng rng(9);
+  const OrsGraph ors = ors_greedy_random(40, 4, 8, rng);
+  ASSERT_TRUE(verify_ors(ors));
+  const auto updates = ors_update_sequence(ors);
+
+  MatrixWeakOracle oracle(ors.n);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  DynamicMatcher dm(ors.n, oracle, cfg);
+  std::int64_t step = 0;
+  for (const EdgeUpdate& up : updates) {
+    dm.apply(up);
+    if (++step % 16 == 0) {
+      const Graph snapshot = dm.graph().snapshot();
+      ASSERT_TRUE(dm.matching().is_valid_in(snapshot));
+      ASSERT_TRUE(dm.matching().is_maximal_in(snapshot));
+    }
+  }
+  EXPECT_EQ(dm.graph().num_edges(), 0);  // everything deleted at the end
+}
+
+}  // namespace
+}  // namespace bmf

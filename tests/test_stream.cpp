@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "matching/blossom_exact.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/streaming_matcher.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(EdgeStream, CountsPassesAndDeliversAllEdges) {
+  Rng rng(1);
+  const Graph g = gen_random_graph(30, 60, rng);
+  EdgeStream stream(g);
+  EXPECT_EQ(stream.passes(), 0);
+  std::int64_t seen = 0;
+  stream.for_each_pass([&](const Edge&) { ++seen; });
+  EXPECT_EQ(seen, g.num_edges());
+  EXPECT_EQ(stream.passes(), 1);
+  stream.for_each_pass([&](const Edge&) {});
+  EXPECT_EQ(stream.passes(), 2);
+}
+
+TEST(EdgeStream, ShuffledPassesPermuteOrder) {
+  Rng rng(2);
+  const Graph g = gen_random_graph(40, 200, rng);
+  EdgeStream stream(g, /*shuffle_each_pass=*/true, 7);
+  std::vector<Edge> first, second;
+  stream.for_each_pass([&](const Edge& e) { first.push_back(e); });
+  stream.for_each_pass([&](const Edge& e) { second.push_back(e); });
+  EXPECT_NE(first, second);  // astronomically unlikely to coincide
+  auto sort_edges = [](std::vector<Edge>& v) {
+    std::sort(v.begin(), v.end(), [](const Edge& a, const Edge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+  };
+  sort_edges(first);
+  sort_edges(second);
+  EXPECT_EQ(first, second);  // same multiset
+}
+
+void expect_streaming_ratio(const Graph& g, double eps) {
+  CoreConfig cfg;
+  cfg.eps = eps;
+  cfg.check_invariants = true;
+  const StreamingResult r = streaming_matching(g, cfg);
+  ASSERT_TRUE(r.matching.is_valid_in(g));
+  const std::int64_t mu = maximum_matching_size(g);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * (1.0 + eps),
+            static_cast<double>(mu));
+  EXPECT_GT(r.passes, 0);
+}
+
+TEST(StreamingMatcher, ChainsAreAugmented) {
+  expect_streaming_ratio(gen_augmenting_chains(8, 3), 0.25);
+}
+
+TEST(StreamingMatcher, OddCycles) {
+  expect_streaming_ratio(gen_odd_cycles(6, 7), 0.25);
+}
+
+class StreamingSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingSeedTest, RandomGraphsMeetGuarantee) {
+  Rng rng(GetParam());
+  expect_streaming_ratio(gen_random_graph(100, 300, rng), 0.25);
+}
+
+TEST_P(StreamingSeedTest, BipartiteMeetGuarantee) {
+  Rng rng(GetParam());
+  expect_streaming_ratio(gen_random_bipartite(50, 50, 200, rng), 0.2);
+}
+
+TEST_P(StreamingSeedTest, ShuffledStreamSameGuarantee) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(80, 240, rng);
+  EdgeStream stream(g, /*shuffle_each_pass=*/true, GetParam());
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  const StreamingResult r = streaming_matching(stream, g.num_vertices(), cfg);
+  EXPECT_GE(static_cast<double>(r.matching.size()) * 1.25,
+            static_cast<double>(maximum_matching_size(g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingSeedTest, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(StreamingMatcher, PassCountGrowsWithPrecision) {
+  Rng rng(4);
+  const Graph g = gen_augmenting_chains(6, 5);
+  CoreConfig loose, tight;
+  loose.eps = 0.5;
+  tight.eps = 0.125;
+  const auto r_loose = streaming_matching(g, loose);
+  const auto r_tight = streaming_matching(g, tight);
+  EXPECT_GE(r_tight.passes, r_loose.passes);
+  (void)rng;
+}
+
+TEST(StreamingMatcher, MemoryStaysBoundedOnSparseGraphs) {
+  const Graph g = gen_disjoint_paths(50, 7);
+  CoreConfig cfg;
+  cfg.eps = 0.25;
+  const StreamingResult r = streaming_matching(g, cfg);
+  // In-structure arc storage is O(sum |S|^2), far below m here.
+  EXPECT_LE(r.peak_memory_words, 4 * g.num_edges());
+  EXPECT_EQ(r.matching.size(), maximum_matching_size(g));
+}
+
+}  // namespace
+}  // namespace bmf

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_below(17);
+    EXPECT_LT(x, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.next_range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(42);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h(2);
+  for (int x : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) h.add(x);
+  EXPECT_EQ(h.total(), 10);
+  EXPECT_EQ(h.buckets().size(), 5u);
+  EXPECT_EQ(h.quantile(0.1), 1);
+  EXPECT_EQ(h.quantile(1.0), 9);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v * v);  // exponent 3
+  }
+  EXPECT_NEAR(fit_loglog_slope(x, y), 3.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  const std::string s = t.render("title");
+  EXPECT_NE(s.find("== title =="), std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("| 10"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace bmf

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "dynamic/weak_oracle.hpp"
+#include "omv/omv_weak.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+std::vector<Vertex> random_subset(Vertex n, double p, Rng& rng) {
+  std::vector<Vertex> s;
+  for (Vertex v = 0; v < n; ++v)
+    if (rng.next_bool(p)) s.push_back(v);
+  return s;
+}
+
+class WeakOracleProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeakOracleProps, QueryIsMaximalInInducedSubgraph) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(60, 240, rng);
+  MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+  const auto s = random_subset(60, 0.5, rng);
+  const WeakQueryResult res = oracle.query(s, 0.0);
+
+  std::vector<std::uint8_t> in_s(60, 0), matched(60, 0);
+  for (Vertex v : s) in_s[static_cast<std::size_t>(v)] = 1;
+  for (const Edge& e : res.matching) {
+    ASSERT_TRUE(in_s[static_cast<std::size_t>(e.u)]);
+    ASSERT_TRUE(in_s[static_cast<std::size_t>(e.v)]);
+    ASSERT_TRUE(g.has_edge(e.u, e.v));
+    ASSERT_FALSE(matched[static_cast<std::size_t>(e.u)]);
+    ASSERT_FALSE(matched[static_cast<std::size_t>(e.v)]);
+    matched[static_cast<std::size_t>(e.u)] = 1;
+    matched[static_cast<std::size_t>(e.v)] = 1;
+  }
+  // Maximality: no G[S]-edge joins two unmatched S-vertices.
+  for (const Edge& e : g.edges()) {
+    if (!in_s[static_cast<std::size_t>(e.u)] || !in_s[static_cast<std::size_t>(e.v)])
+      continue;
+    EXPECT_TRUE(matched[static_cast<std::size_t>(e.u)] ||
+                matched[static_cast<std::size_t>(e.v)])
+        << "uncovered edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST_P(WeakOracleProps, CoverQueryIsMaximalBipartite) {
+  Rng rng(GetParam() + 40);
+  const Graph g = gen_random_graph(50, 200, rng);
+  MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+  const auto plus = random_subset(50, 0.4, rng);
+  const auto minus = random_subset(50, 0.4, rng);
+  const WeakQueryResult res = oracle.query_cover(plus, minus, 0.0);
+
+  std::vector<std::uint8_t> used_plus(50, 0), used_minus(50, 0), in_plus(50, 0),
+      in_minus(50, 0);
+  for (Vertex v : plus) in_plus[static_cast<std::size_t>(v)] = 1;
+  for (Vertex v : minus) in_minus[static_cast<std::size_t>(v)] = 1;
+  for (const Edge& e : res.matching) {
+    ASSERT_TRUE(in_plus[static_cast<std::size_t>(e.u)]);
+    ASSERT_TRUE(in_minus[static_cast<std::size_t>(e.v)]);
+    ASSERT_TRUE(g.has_edge(e.u, e.v));
+    ASSERT_FALSE(used_plus[static_cast<std::size_t>(e.u)]);
+    ASSERT_FALSE(used_minus[static_cast<std::size_t>(e.v)]);
+    used_plus[static_cast<std::size_t>(e.u)] = 1;
+    used_minus[static_cast<std::size_t>(e.v)] = 1;
+  }
+  // Maximality in B[S+ u S-]: no (u+, v-) with both copies unused.
+  for (Vertex u = 0; u < 50; ++u) {
+    if (!in_plus[static_cast<std::size_t>(u)] || used_plus[static_cast<std::size_t>(u)])
+      continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (in_minus[static_cast<std::size_t>(v)]) {
+        EXPECT_TRUE(used_minus[static_cast<std::size_t>(v)])
+            << "uncovered B-edge (" << u << "+, " << v << "-)";
+      }
+    }
+  }
+}
+
+TEST_P(WeakOracleProps, MatrixAndOMvOraclesAgreeOnCoverQueries) {
+  // Both implement greedy maximal over the same row order, so their cover
+  // matchings coincide exactly.
+  Rng rng(GetParam() + 80);
+  const Graph g = gen_random_graph(40, 160, rng);
+  MatrixWeakOracle a = MatrixWeakOracle::from_graph(g);
+  OMvWeakOracle b = OMvWeakOracle::from_graph(g);
+  const auto plus = random_subset(40, 0.5, rng);
+  const auto minus = random_subset(40, 0.5, rng);
+  const auto ra = a.query_cover(plus, minus, 0.0);
+  const auto rb = b.query_cover(plus, minus, 0.0);
+  ASSERT_EQ(ra.matching.size(), rb.matching.size());
+  for (std::size_t i = 0; i < ra.matching.size(); ++i) {
+    EXPECT_EQ(ra.matching[i].u, rb.matching[i].u);
+    EXPECT_EQ(ra.matching[i].v, rb.matching[i].v);
+  }
+}
+
+TEST_P(WeakOracleProps, WordsTouchedGrowsWithQueries) {
+  Rng rng(GetParam() + 120);
+  const Graph g = gen_random_graph(64, 128, rng);
+  MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+  const auto s = random_subset(64, 0.5, rng);
+  const std::int64_t before = oracle.words_touched();
+  (void)oracle.query(s, 0.0);
+  const std::int64_t after_one = oracle.words_touched();
+  EXPECT_GT(after_one, before);
+  (void)oracle.query(s, 0.0);
+  EXPECT_GT(oracle.words_touched(), after_one);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakOracleProps, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(WeakOracleEdgeCases, EmptySubsetAndSingleton) {
+  const Graph g = make_graph(4, std::vector<Edge>{{0, 1}});
+  MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+  EXPECT_TRUE(oracle.query(std::vector<Vertex>{}, 0.0).matching.empty());
+  EXPECT_TRUE(oracle.query(std::vector<Vertex>{0}, 0.0).matching.empty());
+  EXPECT_TRUE(oracle.query_cover(std::vector<Vertex>{0}, std::vector<Vertex>{},
+                                 0.0)
+                  .matching.empty());
+}
+
+TEST(WeakOracleEdgeCases, CoverAllowsBothCopiesOfSameVertex) {
+  // S+ = S- = {0, 1} with edge {0,1}: the cover matching can use (0+, 1-)
+  // while 1+ can still probe, but 0- is taken; result has exactly one pair
+  // per available minus copy.
+  const Graph g = make_graph(2, std::vector<Edge>{{0, 1}});
+  MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+  const std::vector<Vertex> s{0, 1};
+  const auto res = oracle.query_cover(s, s, 0.0);
+  EXPECT_EQ(res.matching.size(), 2u);  // (0+,1-) and (1+,0-)
+}
+
+}  // namespace
+}  // namespace bmf

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "matching/blossom_exact.hpp"
+#include "weighted/weighted.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+WeightedGraph random_weighted(Vertex n, std::int64_t m, double w_max, Rng& rng) {
+  const Graph g = gen_random_graph(n, m, rng);
+  WeightedGraph wg;
+  wg.n = n;
+  for (const Edge& e : g.edges())
+    wg.edges.push_back({e.u, e.v, 1.0 + rng.next_double() * (w_max - 1.0)});
+  return wg;
+}
+
+TEST(Weighted, MatchingWeightSums) {
+  WeightedGraph wg{4, {{0, 1, 2.5}, {2, 3, 1.5}}};
+  EXPECT_DOUBLE_EQ(matching_weight(wg, wg.edges), 4.0);
+}
+
+TEST(Weighted, GreedyIsValidMatching) {
+  Rng rng(3);
+  const WeightedGraph wg = random_weighted(30, 100, 50, rng);
+  const auto m = greedy_weighted_matching(wg);
+  std::vector<int> deg(30, 0);
+  for (const auto& e : m) {
+    ++deg[static_cast<std::size_t>(e.u)];
+    ++deg[static_cast<std::size_t>(e.v)];
+  }
+  for (int d : deg) EXPECT_LE(d, 1);
+}
+
+TEST(Weighted, BruteForceOnKnownInstances) {
+  // Triangle with weights: best single edge wins over any pair (no pair fits).
+  WeightedGraph tri{3, {{0, 1, 5}, {1, 2, 4}, {0, 2, 3}}};
+  EXPECT_DOUBLE_EQ(brute_force_weighted_matching(tri), 5.0);
+  // Path where the two outer edges beat the heavier middle edge.
+  WeightedGraph path{4, {{0, 1, 3}, {1, 2, 4}, {2, 3, 3}}};
+  EXPECT_DOUBLE_EQ(brute_force_weighted_matching(path), 6.0);
+}
+
+class WeightedPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedPropertyTest, GreedyIsTwoApprox) {
+  Rng rng(GetParam());
+  const WeightedGraph wg = random_weighted(14, 40, 100, rng);
+  const Weight opt = brute_force_weighted_matching(wg);
+  const Weight greedy = matching_weight(wg, greedy_weighted_matching(wg));
+  EXPECT_GE(2.0 * greedy + 1e-9, opt);
+}
+
+TEST_P(WeightedPropertyTest, ScalingPreservesNearOptimality) {
+  Rng rng(GetParam() + 100);
+  const WeightedGraph wg = random_weighted(14, 36, 1000, rng);
+  const double eps = 0.2;
+  const ScaledWeights scaled = gp_scale_weights(wg, eps);
+  const Weight opt = brute_force_weighted_matching(wg);
+  const Weight opt_scaled = brute_force_weighted_matching(scaled.graph);
+  // Rounding down powers of (1+eps) and dropping featherweight edges loses
+  // at most a (1+eps)(1-eps)^-1-ish factor.
+  EXPECT_GE(opt_scaled * (1.0 + eps) + eps * opt + 1e-9, opt);
+  EXPECT_GT(scaled.distinct_classes, 0);
+}
+
+TEST_P(WeightedPropertyTest, ClassCombinationGuarantee) {
+  Rng rng(GetParam() + 200);
+  const WeightedGraph wg = random_weighted(14, 36, 100, rng);
+  const double eps = 0.25;
+  const McmSubroutine exact_mcm = [](const Graph& sub) {
+    return blossom_maximum_matching(sub);
+  };
+  const auto combined = class_combined_weighted_matching(wg, eps, exact_mcm);
+  const Weight got = matching_weight(wg, combined);
+  const Weight opt = brute_force_weighted_matching(wg);
+  // [SVW17]: (2+O(eps)) * alpha with alpha = 1 here. Allow 2.6.
+  EXPECT_GE(got * 2.6 + 1e-9, opt) << "got " << got << " opt " << opt;
+  // Validity.
+  std::vector<int> deg(14, 0);
+  for (const auto& e : combined) {
+    ++deg[static_cast<std::size_t>(e.u)];
+    ++deg[static_cast<std::size_t>(e.v)];
+  }
+  for (int d : deg) EXPECT_LE(d, 1);
+}
+
+TEST_P(WeightedPropertyTest, FullPipelineGuarantee) {
+  Rng rng(GetParam() + 300);
+  const WeightedGraph wg = random_weighted(16, 48, 200, rng);
+  const WeightedBoostResult r = boosted_weighted_matching(wg, 0.25, CoreConfig{});
+  const Weight opt = brute_force_weighted_matching(wg);
+  EXPECT_GE(r.weight * 3.0 + 1e-9, opt);  // (2+O(eps))(1+eps) with slack
+  EXPECT_GT(r.oracle_calls, 0);
+  EXPECT_GT(r.classes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Weighted, EmptyGraphHandled) {
+  WeightedGraph wg{5, {}};
+  EXPECT_TRUE(greedy_weighted_matching(wg).empty());
+  EXPECT_DOUBLE_EQ(brute_force_weighted_matching(wg), 0.0);
+  const auto r = boosted_weighted_matching(wg, 0.25, CoreConfig{});
+  EXPECT_TRUE(r.matching.empty());
+}
+
+TEST(Weighted, RejectsNonPositiveWeights) {
+  WeightedGraph wg{2, {{0, 1, -1.0}}};
+  EXPECT_THROW((void)gp_scale_weights(wg, 0.25), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmf
