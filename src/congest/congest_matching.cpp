@@ -1,5 +1,7 @@
 #include "congest/congest_matching.hpp"
 
+#include <algorithm>
+
 #include "graph/graph.hpp"
 #include "util/assert.hpp"
 
@@ -17,6 +19,13 @@ CongestMatchingResult congest_maximal_matching(Network& net, Rng& rng) {
   const std::int64_t rounds_before = net.rounds();
 
   std::vector<Vertex> mate(static_cast<std::size_t>(n), kNoVertex);
+  // Per-vertex random streams, split deterministically from the caller's
+  // generator: vertex handlers run concurrently inside Network::round, so
+  // they must not share one Rng (a shared stream would both race and make
+  // the draw order depend on the schedule).
+  std::vector<Rng> vertex_rng;
+  vertex_rng.reserve(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) vertex_rng.push_back(rng.split());
   // Live neighbor views are maintained locally by each vertex; deaths are
   // communicated by the kDead word.
   std::vector<std::vector<Vertex>> live(static_cast<std::size_t>(n));
@@ -37,6 +46,7 @@ CongestMatchingResult congest_maximal_matching(Network& net, Rng& rng) {
 
   std::int64_t iterations = 0;
   std::vector<Vertex> proposed_to(static_cast<std::size_t>(n), kNoVertex);
+  std::vector<Vertex> accepted_from(static_cast<std::size_t>(n), kNoVertex);
 
   while (any_live_edge()) {
     ++iterations;
@@ -58,8 +68,8 @@ CongestMatchingResult congest_maximal_matching(Network& net, Rng& rng) {
       }
       proposed_to[static_cast<std::size_t>(v)] = kNoVertex;
       if (lv.empty()) return;
-      const Vertex target =
-          lv[static_cast<std::size_t>(rng.next_below(lv.size()))];
+      const Vertex target = lv[static_cast<std::size_t>(
+          vertex_rng[static_cast<std::size_t>(v)].next_below(lv.size()))];
       proposed_to[static_cast<std::size_t>(v)] = target;
       send(target, kPropose);
     });
@@ -79,19 +89,31 @@ CongestMatchingResult congest_maximal_matching(Network& net, Rng& rng) {
 
     // Resolve handshakes: v proposed to t and t accepted v. Acceptances were
     // delivered into the next round's inboxes; resolve them with one more
-    // round so the message accounting stays within the model.
+    // round so the message accounting stays within the model. The candidate
+    // pairs are NOT vertex-disjoint — a vertex can have its own proposal
+    // accepted while also being the acceptor of another proposal — so
+    // handlers only record the acceptance they received (per-vertex slot),
+    // and the matches are applied after the barrier in vertex order: the
+    // same global greedy the serial sweep performed, now independent of the
+    // handler execution schedule.
+    std::fill(accepted_from.begin(), accepted_from.end(), kNoVertex);
     net.round([&](Vertex v, const Network::Inbox& inbox, const Network::Sender&) {
       for (const auto& [from, word] : inbox) {
         if (word != kAccept) continue;
         // `from` accepted v's proposal.
-        if (proposed_to[static_cast<std::size_t>(v)] == from &&
-            mate[static_cast<std::size_t>(v)] == kNoVertex &&
-            mate[static_cast<std::size_t>(from)] == kNoVertex) {
-          mate[static_cast<std::size_t>(v)] = from;
-          mate[static_cast<std::size_t>(from)] = v;
-        }
+        if (proposed_to[static_cast<std::size_t>(v)] == from)
+          accepted_from[static_cast<std::size_t>(v)] = from;
       }
     });
+    for (Vertex v = 0; v < n; ++v) {
+      const Vertex from = accepted_from[static_cast<std::size_t>(v)];
+      if (from == kNoVertex) continue;
+      if (mate[static_cast<std::size_t>(v)] == kNoVertex &&
+          mate[static_cast<std::size_t>(from)] == kNoVertex) {
+        mate[static_cast<std::size_t>(v)] = from;
+        mate[static_cast<std::size_t>(from)] = v;
+      }
+    }
   }
 
   CongestMatchingResult result;
@@ -108,7 +130,7 @@ OracleMatching CongestMatchingOracle::find_impl(const OracleGraph& h) {
   GraphBuilder b(h.n);
   for (const auto& [u, v] : h.edges) b.add_edge(u, v);
   const Graph g = b.build();
-  Network net(g);
+  Network net(g, threads_);
   CongestMatchingResult r = congest_maximal_matching(net, rng_);
   rounds_ += r.rounds;
   return std::move(r.matching);

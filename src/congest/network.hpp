@@ -7,6 +7,13 @@
 /// here) along each incident edge; different edges may carry different
 /// messages. Sending two messages over the same edge in one round is a model
 /// violation and is counted (tests require zero violations).
+///
+/// Vertex handlers run concurrently on the shared thread pool (the `threads`
+/// constructor knob). Each vertex buffers sends in a private outbox; after a
+/// barrier the outboxes are merged into next-round inboxes in vertex order,
+/// reproducing the serial delivery schedule exactly, so results are
+/// bit-identical at any thread count. Handlers may mutate per-vertex state
+/// but must not write shared state without their own synchronization.
 
 #include <cstdint>
 #include <functional>
@@ -19,7 +26,9 @@ namespace bmf::congest {
 
 class Network {
  public:
-  explicit Network(const Graph& g);
+  /// threads: 0 = hardware concurrency, 1 = serial. Simulation results are
+  /// identical either way.
+  explicit Network(const Graph& g, int threads = 0);
 
   [[nodiscard]] const Graph& graph() const { return g_; }
   [[nodiscard]] std::int64_t rounds() const { return rounds_; }
@@ -40,6 +49,7 @@ class Network {
 
  private:
   const Graph& g_;
+  int threads_ = 0;
   std::int64_t rounds_ = 0;
   std::int64_t messages_ = 0;
   std::int64_t violations_ = 0;

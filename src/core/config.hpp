@@ -54,6 +54,14 @@ struct CoreConfig {
 
   std::uint64_t seed = 1;
 
+  /// Thread-pool fan-out for the embarrassingly-parallel loops (independent
+  /// boosting repetitions, oracle sampling, simulator rounds that take their
+  /// thread count from this config): 0 = std::thread::hardware_concurrency(),
+  /// 1 = serial. Every parallel path follows the deterministic-merge
+  /// discipline of util/thread_pool.hpp, so for a fixed `seed` the results
+  /// are bit-identical at any thread count.
+  int threads = 0;
+
   /// --- derived quantities (Section 4) ---
 
   [[nodiscard]] int ell_max() const {

@@ -1,8 +1,11 @@
 #include "core/framework.hpp"
 
 #include <unordered_map>
+#include <utility>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 // Certificate soundness note: a valid c-approximate oracle returns a
 // non-empty matching whenever the derived graph has an edge (mu >= 1 implies
@@ -271,6 +274,40 @@ BoostResult boost_matching(const Graph& g, MatchingOracle& oracle,
   result.outcome = engine.run(result.matching, driver);
   result.stats = driver.stats();
   result.total_oracle_calls = oracle.calls() - calls_before;
+  return result;
+}
+
+EnsembleResult boost_matching_ensemble(const Graph& g,
+                                       const OracleFactory& make_oracle,
+                                       const CoreConfig& cfg, int repetitions) {
+  BMF_REQUIRE(repetitions >= 1, "boost_matching_ensemble: need >= 1 repetition");
+  BMF_REQUIRE(make_oracle != nullptr, "boost_matching_ensemble: null factory");
+
+  // Split per-repetition seeds serially up front; the fan-out below must not
+  // touch shared randomness.
+  Rng seeder(cfg.seed);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(repetitions));
+  for (auto& s : seeds) s = seeder.next();
+
+  std::vector<BoostResult> slots(static_cast<std::size_t>(repetitions));
+  parallel_for_threads(cfg.threads, repetitions, [&](std::int64_t r) {
+    CoreConfig local = cfg;
+    local.seed = seeds[static_cast<std::size_t>(r)];
+    local.threads = 1;  // repetitions already occupy the pool; don't nest
+    const std::unique_ptr<MatchingOracle> oracle = make_oracle(local.seed);
+    slots[static_cast<std::size_t>(r)] = boost_matching(g, *oracle, local);
+  });
+
+  EnsembleResult result;
+  result.sizes.reserve(static_cast<std::size_t>(repetitions));
+  for (int r = 0; r < repetitions; ++r) {
+    const std::int64_t size = slots[static_cast<std::size_t>(r)].matching.size();
+    result.sizes.push_back(size);
+    if (result.best_repetition < 0 ||
+        size > result.sizes[static_cast<std::size_t>(result.best_repetition)])
+      result.best_repetition = r;
+  }
+  result.best = std::move(slots[static_cast<std::size_t>(result.best_repetition)]);
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/oracle.hpp"
@@ -88,5 +90,28 @@ struct BoostResult {
 /// structure processing the theorem charges to A_process).
 [[nodiscard]] BoostResult boost_matching(const Graph& g, MatchingOracle& oracle,
                                          const CoreConfig& cfg);
+
+/// Builds a fresh oracle for one boosting repetition from that repetition's
+/// seed. Each repetition gets its own oracle so independent runs never share
+/// mutable state (randomness, counters) across threads.
+using OracleFactory =
+    std::function<std::unique_ptr<MatchingOracle>(std::uint64_t seed)>;
+
+struct EnsembleResult {
+  BoostResult best;            ///< the repetition with the largest matching
+  int best_repetition = -1;    ///< its index (lowest on ties)
+  std::vector<std::int64_t> sizes;  ///< matching size per repetition
+};
+
+/// Runs `repetitions` independent boosted runs, each with its own oracle and
+/// a per-repetition seed split from cfg.seed, fanned out across cfg.threads
+/// pool workers, and keeps the run with the largest matching (ties break to
+/// the lowest repetition index). Seeds are drawn serially up front and each
+/// repetition writes into its own result slot, so the outcome is
+/// bit-identical at any thread count.
+[[nodiscard]] EnsembleResult boost_matching_ensemble(const Graph& g,
+                                                     const OracleFactory& make_oracle,
+                                                     const CoreConfig& cfg,
+                                                     int repetitions);
 
 }  // namespace bmf

@@ -1,10 +1,20 @@
 #include "core/oracle.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "matching/blossom_exact.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bmf {
+
+OracleGraph to_oracle_graph(const Graph& g) {
+  OracleGraph h;
+  h.n = g.num_vertices();
+  for (const Edge& e : g.edges()) h.edges.emplace_back(e.u, e.v);
+  return h;
+}
 
 OracleMatching greedy_oracle_matching(const OracleGraph& h) {
   std::vector<std::int32_t> mate(static_cast<std::size_t>(h.n), -1);
@@ -25,10 +35,13 @@ OracleMatching GreedyMatchingOracle::find_impl(const OracleGraph& h) {
   return greedy_oracle_matching(h);
 }
 
-OracleMatching RandomGreedyMatchingOracle::find_impl(const OracleGraph& h) {
+namespace {
+
+/// Greedy maximal matching over the edge permutation drawn from `rng`.
+OracleMatching random_greedy_sample(const OracleGraph& h, Rng& rng) {
   std::vector<std::size_t> order(h.edges.size());
   std::iota(order.begin(), order.end(), 0);
-  rng_.shuffle(order);
+  rng.shuffle(order);
   std::vector<std::int32_t> mate(static_cast<std::size_t>(h.n), -1);
   OracleMatching out;
   for (std::size_t i : order) {
@@ -42,6 +55,37 @@ OracleMatching RandomGreedyMatchingOracle::find_impl(const OracleGraph& h) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+OracleMatching RandomGreedyMatchingOracle::find_impl(const OracleGraph& h) {
+  return random_greedy_sample(h, rng_);
+}
+
+BestOfKRandomGreedyOracle::BestOfKRandomGreedyOracle(std::uint64_t seed,
+                                                     int samples, int threads)
+    : rng_(seed), samples_(samples), threads_(threads) {
+  BMF_REQUIRE(samples >= 1, "BestOfKRandomGreedyOracle: need >= 1 sample");
+}
+
+OracleMatching BestOfKRandomGreedyOracle::find_impl(const OracleGraph& h) {
+  // Per-sample streams are split serially from the oracle's stream, so the
+  // oracle's own stream advances identically regardless of fan-out.
+  std::vector<Rng> sample_rng;
+  sample_rng.reserve(static_cast<std::size_t>(samples_));
+  for (int s = 0; s < samples_; ++s) sample_rng.push_back(rng_.split());
+
+  std::vector<OracleMatching> slots(static_cast<std::size_t>(samples_));
+  parallel_for_threads(threads_, samples_, [&](std::int64_t s) {
+    slots[static_cast<std::size_t>(s)] =
+        random_greedy_sample(h, sample_rng[static_cast<std::size_t>(s)]);
+  });
+
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < slots.size(); ++s)
+    if (slots[s].size() > slots[best].size()) best = s;
+  return std::move(slots[best]);
 }
 
 OracleMatching ExactMatchingOracle::find_impl(const OracleGraph& h) {

@@ -1,5 +1,9 @@
 #include "mpc/cluster.hpp"
 
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
 namespace bmf::mpc {
 
 Cluster::Cluster(const MpcConfig& cfg) : cfg_(cfg) {
@@ -18,18 +22,34 @@ int Cluster::owner(std::uint64_t key) const {
 
 void Cluster::superstep(
     const std::function<void(int machine, const Inbox&, const Sender&)>& step) {
-  std::vector<Inbox> next(static_cast<std::size_t>(cfg_.machines));
-  std::vector<std::int64_t> sent(static_cast<std::size_t>(cfg_.machines), 0);
-  for (int m = 0; m < cfg_.machines; ++m) {
+  const int machines = cfg_.machines;
+
+  // Parallel phase: every machine computes against its immutable inbox and
+  // buffers sends in a private outbox.
+  std::vector<std::vector<std::pair<int, Msg>>> outbox(
+      static_cast<std::size_t>(machines));
+  parallel_for_threads(cfg_.threads, machines, [&](std::int64_t m) {
+    auto& out = outbox[static_cast<std::size_t>(m)];
     const Sender send = [&](int dest, Msg msg) {
       BMF_ASSERT(dest >= 0 && dest < cfg_.machines);
+      out.emplace_back(dest, msg);
+    };
+    step(static_cast<int>(m), inboxes_[static_cast<std::size_t>(m)], send);
+  });
+
+  // Barrier passed; merge outboxes in machine order. This is exactly the
+  // delivery order a serial sweep over machines produces, so inbox contents
+  // (and every downstream result) are independent of the thread count.
+  std::vector<Inbox> next(static_cast<std::size_t>(machines));
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(machines), 0);
+  for (int m = 0; m < machines; ++m) {
+    for (const auto& [dest, msg] : outbox[static_cast<std::size_t>(m)]) {
       next[static_cast<std::size_t>(dest)].push_back(msg);
       sent[static_cast<std::size_t>(m)] += kWordsPerMsg;
       ++messages_;
-    };
-    step(m, inboxes_[static_cast<std::size_t>(m)], send);
+    }
   }
-  for (int m = 0; m < cfg_.machines; ++m) {
+  for (int m = 0; m < machines; ++m) {
     const std::int64_t load =
         sent[static_cast<std::size_t>(m)] +
         static_cast<std::int64_t>(next[static_cast<std::size_t>(m)].size()) *

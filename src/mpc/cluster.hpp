@@ -11,6 +11,14 @@
 ///
 /// Messages are fixed-size triples of 64-bit words (tag, a, b); this mirrors
 /// the word-RAM convention of MPC algorithms and keeps load accounting exact.
+///
+/// Machines' local computation runs concurrently on the shared thread pool
+/// (MpcConfig::threads). Each machine writes to a private outbox; after a
+/// barrier the outboxes are merged into next-round inboxes in machine order,
+/// which reproduces the serial delivery schedule exactly — simulation results
+/// are bit-identical at any thread count. Step callbacks may freely mutate
+/// per-machine state but must not write shared state without their own
+/// synchronization.
 
 #include <cstdint>
 #include <functional>
@@ -31,6 +39,9 @@ struct MpcConfig {
   int machines = 8;
   /// Local memory per machine, in words. 0 disables enforcement.
   std::int64_t memory_words = 0;
+  /// Simulation threads for per-machine local computation: 0 = hardware
+  /// concurrency, 1 = serial. Results are identical either way.
+  int threads = 0;
 };
 
 class Cluster {

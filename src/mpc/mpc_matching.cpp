@@ -103,8 +103,11 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
     });
 
     // Superstep 3: an edge that is the minimum at both endpoints wins; notify
-    // the vertex owners so they mark both endpoints dead.
-    std::vector<std::pair<std::int32_t, std::int32_t>> winners_this_round;
+    // the vertex owners so they mark both endpoints dead. Winners accumulate
+    // per owner machine and merge in machine order after the barrier, keeping
+    // the matched-edge order thread-count-independent.
+    std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> winners_by_machine(
+        static_cast<std::size_t>(machines));
     cluster.superstep([&](int m, const Cluster::Inbox&, const Cluster::Sender& send) {
       const auto& mins = got_min[static_cast<std::size_t>(m)];
       for (const LocalEdge& e : local[static_cast<std::size_t>(m)]) {
@@ -128,7 +131,7 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
         const auto y = static_cast<std::int32_t>(msg.b);
         if (!dead[static_cast<std::size_t>(m)][x]) {
           dead[static_cast<std::size_t>(m)][x] = true;
-          if (x < y) winners_this_round.emplace_back(x, y);
+          if (x < y) winners_by_machine[static_cast<std::size_t>(m)].emplace_back(x, y);
           // Broadcast the death to edge holders.
           for (int dest = 0; dest < machines; ++dest)
             send(dest, {kVertexDead,
@@ -137,7 +140,10 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
       }
     });
 
-    // Superstep 4: drop edges incident to dead vertices.
+    // Superstep 4: drop edges incident to dead vertices. Per-machine drop
+    // counts are reduced after the barrier (machines must not race on the
+    // shared live-edge total).
+    std::vector<std::int64_t> dropped(static_cast<std::size_t>(machines), 0);
     cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender&) {
       std::unordered_map<std::int32_t, bool> died;
       for (const Msg& msg : inbox)
@@ -145,15 +151,20 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
       for (LocalEdge& e : local[static_cast<std::size_t>(m)]) {
         if (e.live && (died.count(e.u) || died.count(e.v))) {
           e.live = false;
-          --live_total;
-          progress = true;
+          ++dropped[static_cast<std::size_t>(m)];
         }
       }
     });
+    for (int m = 0; m < machines; ++m) {
+      live_total -= dropped[static_cast<std::size_t>(m)];
+      if (dropped[static_cast<std::size_t>(m)] > 0) progress = true;
+    }
 
-    for (const auto& w : winners_this_round) {
-      matched.emplace_back(w.first, w.second);
-      progress = true;
+    for (int m = 0; m < machines; ++m) {
+      for (const auto& w : winners_by_machine[static_cast<std::size_t>(m)]) {
+        matched.emplace_back(w.first, w.second);
+        progress = true;
+      }
     }
   }
 

@@ -1,0 +1,195 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+namespace {
+
+/// Set inside pool workers so nested parallel_for calls degrade to inline
+/// serial loops instead of deadlocking on their own pool.
+thread_local bool tl_inside_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = resolve_threads(threads);
+  const int spawned = std::max(0, total - 1);
+  workers_.reserve(static_cast<std::size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(spawned));
+  for (int i = 0; i < spawned; ++i)
+    threads_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  const std::size_t idx =
+      round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    const std::lock_guard<std::mutex> lock(workers_[idx]->mutex);
+    workers_[idx]->queue.push_back(std::move(task));
+  }
+  // Bridge the push and the notify with idle_mutex_ so a worker between its
+  // (empty) queue scan and its cv wait cannot miss this task: either it holds
+  // idle_mutex_ and scans after our push, or it is already waiting and gets
+  // the notify.
+  { const std::lock_guard<std::mutex> lock(idle_mutex_); }
+  idle_cv_.notify_all();
+}
+
+bool ThreadPool::try_pop_or_steal(std::size_t self, std::function<void()>& out) {
+  {
+    Worker& own = *workers_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      out = std::move(own.queue.front());
+      own.queue.erase(own.queue.begin());
+      return true;
+    }
+  }
+  const std::size_t n = workers_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[(self + offset) % n];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      out = std::move(victim.queue.back());
+      victim.queue.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tl_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop_or_steal(self, task)) {
+      try {
+        task();
+      } catch (const std::exception& e) {
+        // parallel_for wraps its tasks in try/catch, so this only triggers
+        // for a raw submit() task that violated its no-throw contract; fail
+        // loudly instead of letting the exception terminate() without context.
+        std::fprintf(stderr, "ThreadPool: uncaught exception in submitted task: %s\n",
+                     e.what());
+        std::abort();
+      } catch (...) {
+        std::fprintf(stderr, "ThreadPool: uncaught exception in submitted task\n");
+        std::abort();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    // submit() bridges its queue push with idle_mutex_ before notifying, so
+    // re-scanning the queues in the predicate under this lock cannot miss a
+    // task; workers block indefinitely with no polling.
+    idle_cv_.wait(lock, [&] {
+      if (stop_.load(std::memory_order_acquire)) return true;
+      for (const auto& w : workers_) {
+        const std::lock_guard<std::mutex> qlock(w->mutex);
+        if (!w->queue.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (tl_inside_pool_worker || workers_.empty() || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunk tasks claim indices from a shared cursor; the caller participates,
+  // so the loop completes even if every worker is busy elsewhere.
+  const auto chunks = std::min<std::int64_t>(
+      n, static_cast<std::int64_t>(workers_.size()));
+  std::atomic<std::int64_t> cursor{0};
+  std::atomic<std::int64_t> live{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto drain = [&] {
+    for (;;) {
+      const std::int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    submit([&] {
+      drain();
+      // Decrement under the mutex: the caller frees these locals as soon as
+      // its predicate sees live == 0, so the count must not reach 0 while
+      // this task could still touch done_mutex/done_cv afterwards.
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      if (live.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        done_cv.notify_all();
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return live.load(std::memory_order_acquire) == 0; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() { return shared(0); }
+
+ThreadPool& ThreadPool::shared(int threads) {
+  const int total = resolve_threads(threads);
+  static std::mutex registry_mutex;
+  static std::map<int, std::unique_ptr<ThreadPool>>* registry =
+      new std::map<int, std::unique_ptr<ThreadPool>>();  // leaked: process-lifetime
+  const std::lock_guard<std::mutex> lock(registry_mutex);
+  auto& slot = (*registry)[total];
+  if (!slot) slot = std::make_unique<ThreadPool>(total);
+  return *slot;
+}
+
+void parallel_for_threads(int threads, std::int64_t n,
+                          const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int effective = ThreadPool::resolve_threads(threads);
+  if (effective <= 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::shared(effective).parallel_for(n, fn);
+}
+
+}  // namespace bmf

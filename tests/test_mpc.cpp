@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "matching/blossom_exact.hpp"
 #include "mpc/cluster.hpp"
 #include "mpc/mpc_boost.hpp"
@@ -16,15 +18,16 @@ TEST(Cluster, SuperstepDeliversMessages) {
     if (m == 0)
       for (int d = 0; d < 4; ++d) send(d, {42, static_cast<std::uint64_t>(m), 0});
   });
-  // Round 2: everyone checks the inbox.
-  int received = 0;
+  // Round 2: everyone checks the inbox (machines run concurrently, so the
+  // shared tally must be atomic).
+  std::atomic<int> received{0};
   c.superstep([&](int, const Cluster::Inbox& inbox, const Cluster::Sender&) {
     for (const Msg& msg : inbox) {
       EXPECT_EQ(msg.tag, 42u);
       ++received;
     }
   });
-  EXPECT_EQ(received, 4);
+  EXPECT_EQ(received.load(), 4);
   EXPECT_EQ(c.rounds(), 2);
   EXPECT_EQ(c.messages_sent(), 4);
 }
@@ -46,13 +49,6 @@ TEST(Cluster, OwnerIsDeterministicAndInRange) {
     EXPECT_LT(o, 7);
     EXPECT_EQ(o, c.owner(k));
   }
-}
-
-OracleGraph to_oracle_graph(const Graph& g) {
-  OracleGraph h;
-  h.n = g.num_vertices();
-  for (const Edge& e : g.edges()) h.edges.emplace_back(e.u, e.v);
-  return h;
 }
 
 class MpcMatchingTest : public ::testing::TestWithParam<std::uint64_t> {};

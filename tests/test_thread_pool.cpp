@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(8), 8);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+}
+
+TEST(ThreadPool, SizeMatchesConfiguredConcurrency) {
+  for (int t : {1, 2, 4, 8}) {
+    ThreadPool pool(t);
+    EXPECT_EQ(pool.size(), t);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int t : {1, 2, 8}) {
+    ThreadPool pool(t);
+    constexpr std::int64_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (std::int64_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleton) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::int64_t i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SubmitRunsDetachedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) pool.submit([&] { ++done; });
+  for (int spins = 0; spins < 5000 && done.load() < kTasks; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPool, SubmitOnSerialPoolRunsInline) {
+  ThreadPool pool(1);
+  int done = 0;
+  pool.submit([&] { ++done; });
+  EXPECT_EQ(done, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(8, [&](std::int64_t) {
+    pool.parallel_for(8, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForThreadsHelperMatchesSerial) {
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::int64_t> serial(kN), parallel(kN);
+  for (std::int64_t i = 0; i < kN; ++i) serial[static_cast<std::size_t>(i)] = i * i;
+  parallel_for_threads(8, kN, [&](std::int64_t i) {
+    parallel[static_cast<std::size_t>(i)] = i * i;
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, ParallelReduceIsDeterministicAndOrdered) {
+  // Left-to-right combine on a non-commutative operation: a polynomial hash
+  // over the index sequence; any reordering changes the value.
+  const auto map = [](std::int64_t i) { return static_cast<std::uint64_t>(i + 1); };
+  const auto combine = [](std::uint64_t acc, std::uint64_t x) {
+    return acc * 31 + x;
+  };
+  const std::uint64_t expect =
+      parallel_reduce_threads(1, 200, std::uint64_t{7}, map, combine);
+  for (int t : {2, 8}) {
+    EXPECT_EQ(parallel_reduce_threads(t, 200, std::uint64_t{7}, map, combine),
+              expect)
+        << "threads=" << t;
+  }
+}
+
+TEST(ThreadPool, SharedPoolsAreCachedPerSize) {
+  ThreadPool& a = ThreadPool::shared(3);
+  ThreadPool& b = ThreadPool::shared(3);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 3);
+}
+
+}  // namespace
+}  // namespace bmf
