@@ -27,7 +27,9 @@ void render_blossom(const StructureForest& f, BlossomId b, int indent,
   if (nb.is_trivial()) {
     std::snprintf(buf, sizeof(buf), "%s v%d%s\n", nb.outer ? "(outer)" : "(inner)",
                   nb.vert,
-                  nb.outer ? "" : (" label=" + std::to_string(f.label(nb.vert))).c_str());
+                  nb.outer
+                      ? ""
+                      : (" label=" + std::to_string(f.label(nb.vert))).c_str());
   } else {
     std::snprintf(buf, sizeof(buf), "(outer) blossom B%d base=v%d |B|=%lld\n", b,
                   nb.base, static_cast<long long>(f.arena().vertex_count(b)));
@@ -93,7 +95,8 @@ int main() {
   const BoostResult r = boost_matching(big, oracle2, cfg2);
   Table t({"metric", "value"});
   t.add_row({"graph", "planted matching n=3000, m=10500"});
-  t.add_row({"final |M| / mu shape", Table::num(static_cast<double>(r.matching.size()), 0)});
+  t.add_row({"final |M| / mu shape",
+             Table::num(static_cast<double>(r.matching.size()), 0)});
   t.add_row({"augmenting paths applied", Table::integer(r.outcome.augmenting_paths)});
   t.add_row({"contractions (blossoms built)", Table::integer(r.outcome.ops.contracts)});
   t.add_row({"overtakes (case 1 / 2.1 / 2.2)",

@@ -45,7 +45,8 @@ int main() {
     const Matching w0 = weak_initial_matching(item.g.num_vertices(), weak, wcfg);
 
     t.add_row({item.name, Table::integer(oracle.calls()),
-               Table::integer(static_cast<std::int64_t>(2 * oracle.approx_factor()) + 1),
+               Table::integer(
+                   static_cast<std::int64_t>(2 * oracle.approx_factor()) + 1),
                Table::integer(m0.size()), Table::integer(mu),
                Table::num(static_cast<double>(mu) /
                               static_cast<double>(std::max<std::int64_t>(1, m0.size())),

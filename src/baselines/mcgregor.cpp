@@ -19,7 +19,8 @@ std::int64_t layered_attempt(const Graph& g, Matching& m, int k, Rng& rng) {
   for (Vertex v = 0; v < n; ++v) {
     const Vertex w = m.mate(v);
     if (w == kNoVertex || w < v) continue;
-    const auto l = static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(k))) + 1;
+    const auto l =
+        static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(k))) + 1;
     layer[static_cast<std::size_t>(v)] = l;
     layer[static_cast<std::size_t>(w)] = l;
     // Orientation: the head is the endpoint the path must enter through.

@@ -62,7 +62,8 @@ std::vector<std::uint64_t> component_aggregate_min(
   std::vector<std::uint64_t> result(components.size(), ~0ULL);
   std::vector<std::int32_t> comp_of(static_cast<std::size_t>(g.num_vertices()), -1);
   for (std::size_t c = 0; c < components.size(); ++c)
-    for (Vertex v : components[c]) comp_of[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(c);
+    for (Vertex v : components[c])
+      comp_of[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(c);
 
   std::int64_t max_depth = 0;
   for (std::size_t c = 0; c < components.size(); ++c) {

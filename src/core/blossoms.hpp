@@ -32,7 +32,8 @@ struct BlossomNode {
   BlossomId parent = kNoBlossom;      ///< enclosing blossom
   Vertex base = kNoVertex;            ///< the vertex left unmatched inside E_B
   std::vector<BlossomId> cycle;       ///< composite: odd cycle of children
-  std::vector<Edge> cycle_edges;      ///< cycle_edges[j] = {a in cycle[j], b in cycle[j+1 mod]}
+  /// cycle_edges[j] = {a in cycle[j], b in cycle[j+1 mod]}
+  std::vector<Edge> cycle_edges;
 
   // --- alternating-tree fields (meaningful for root blossoms only) ---
   BlossomId tree_parent = kNoBlossom;

@@ -3,12 +3,13 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bmf {
 
 DynamicMatcher::DynamicMatcher(Vertex n, WeakOracle& oracle,
                                const DynamicMatcherConfig& cfg)
-    : g_(n), oracle_(oracle), cfg_(cfg), m_(n) {
+    : g_(n), oracle_(oracle), cfg_(cfg), m_(n), mark_(static_cast<std::size_t>(n), 0) {
   BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "DynamicMatcher: eps out of range");
   cfg_.sim.core.eps = cfg.eps / 2.0;
   cfg_.sim.core.seed = cfg.seed;
@@ -61,20 +62,133 @@ void DynamicMatcher::apply(const EdgeUpdate& update) {
   maybe_rebuild();
 }
 
+bool DynamicMatcher::is_heavy(const EdgeUpdate& up) const {
+  // m_ only ever holds live edges, so a matched pair implies edge presence.
+  return !up.empty() && !up.insert && m_.has(up.u, up.v);
+}
+
+std::size_t DynamicMatcher::light_prefix_length(std::span<const EdgeUpdate> rest) {
+  ++epoch_;
+  std::size_t j = 0;
+  for (; j < rest.size(); ++j) {
+    const EdgeUpdate& c = rest[j];
+    if (c.empty()) continue;
+    auto& mu = mark_[static_cast<std::size_t>(c.u)];
+    auto& mv = mark_[static_cast<std::size_t>(c.v)];
+    if (mu == epoch_ || mv == epoch_) break;
+    // A matched-edge deletion ends the prefix: its repair reads neighbors'
+    // mates, which concurrent prefix members may be writing. The mate test is
+    // exact here because earlier prefix members cannot touch c's endpoints.
+    if (is_heavy(c)) break;
+    mu = epoch_;
+    mv = epoch_;
+  }
+  return j;
+}
+
+std::size_t DynamicMatcher::apply_light_prefix(std::span<const EdgeUpdate> prefix,
+                                               int threads) {
+  const auto len = static_cast<std::int64_t>(prefix.size());
+  structural_.assign(prefix.size(), 0);
+  match_.assign(prefix.size(), 0);
+
+  // Decisions read only the update's own endpoints (untouched by the rest of
+  // the prefix), so concurrent evaluation against the pre-prefix state equals
+  // the sequential decisions exactly.
+  parallel_for_threads(threads, len, [&](std::int64_t i) {
+    const auto k = static_cast<std::size_t>(i);
+    const EdgeUpdate& up = prefix[k];
+    if (up.empty()) return;
+    if (up.insert) {
+      if (!g_.has_edge(up.u, up.v)) {
+        structural_[k] = 1;
+        if (m_.is_free(up.u) && m_.is_free(up.v)) match_[k] = 1;
+      }
+    } else {
+      // Matched deletions never enter a prefix, so a structural deletion here
+      // is of an unmatched edge and needs no repair.
+      if (g_.has_edge(up.u, up.v)) structural_[k] = 1;
+    }
+  });
+
+  // Replay the rebuild budget to find where maybe_rebuild() would fire in the
+  // sequential loop; truncate the prefix there (inclusive).
+  std::size_t cut = prefix.size();
+  bool fire = false;
+  {
+    std::int64_t sz = m_.size();
+    std::int64_t since = since_rebuild_;
+    for (std::size_t k = 0; k < prefix.size(); ++k) {
+      ++since;
+      if (match_[k]) ++sz;
+      if (since >= rebuild_budget(sz)) {
+        cut = k + 1;
+        fire = true;
+        break;
+      }
+    }
+  }
+
+  const auto committed = prefix.first(cut);
+  const auto flags = std::span<const std::uint8_t>(structural_).first(cut);
+  g_.apply_structural_disjoint(committed, flags, threads);
+  oracle_.on_batch(committed, flags, threads);
+  for (std::size_t k = 0; k < cut; ++k) {
+    ++updates_;
+    ++since_rebuild_;
+    if (match_[k]) m_.add(prefix[k].u, prefix[k].v);
+  }
+  if (fire) {
+    since_rebuild_ = 0;
+    ++rebuilds_;
+    rebuild();
+  }
+  return cut;
+}
+
+void DynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
+  for (const EdgeUpdate& up : batch)
+    BMF_REQUIRE(up.empty() || (up.u >= 0 && up.u < g_.num_vertices() && up.v >= 0 &&
+                               up.v < g_.num_vertices() && up.u != up.v),
+                "DynamicMatcher::apply_batch: invalid update");
+  const int threads = ThreadPool::resolve_threads(cfg_.threads);
+  if (threads <= 1) {
+    // The batch engine only buys anything with real concurrency; the serial
+    // loop is the reference semantics.
+    for (const EdgeUpdate& up : batch) apply(up);
+    return;
+  }
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (is_heavy(batch[i])) {
+      // Serial path: the repair rescans both endpoints' neighborhoods.
+      apply(batch[i]);
+      ++i;
+      continue;
+    }
+    const std::size_t len = light_prefix_length(batch.subspan(i));
+    i += apply_light_prefix(batch.subspan(i, len), threads);
+  }
+}
+
+void DynamicMatcher::rebuild() {
+  const Graph snapshot = g_.snapshot();
+  WeakBoostResult boosted = static_weak_boost(snapshot, m_, oracle_, cfg_.sim);
+  m_ = std::move(boosted.matching);
+}
+
+std::int64_t DynamicMatcher::rebuild_budget(std::int64_t sz) const {
+  if (cfg_.rebuild_every > 0) return cfg_.rebuild_every;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::floor(cfg_.eps * static_cast<double>(sz) / 4.0)));
+}
+
 void DynamicMatcher::maybe_rebuild() {
-  const std::int64_t budget =
-      cfg_.rebuild_every > 0
-          ? cfg_.rebuild_every
-          : std::max<std::int64_t>(
-                1, static_cast<std::int64_t>(
-                       std::floor(cfg_.eps * static_cast<double>(m_.size()) / 4.0)));
-  if (since_rebuild_ < budget) return;
+  if (since_rebuild_ < rebuild_budget(m_.size())) return;
   since_rebuild_ = 0;
   ++rebuilds_;
-  const Graph snapshot = g_.snapshot();
-  WeakBoostResult boosted =
-      static_weak_boost(snapshot, m_, oracle_, cfg_.sim);
-  m_ = std::move(boosted.matching);
+  rebuild();
 }
 
 Problem1Instance::Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q,
@@ -92,17 +206,13 @@ Problem1Instance::Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q,
               "Problem1Instance: oracle lambda too weak for this instance");
 }
 
-void Problem1Instance::apply_chunk(std::span<const EdgeUpdate> chunk) {
+void Problem1Instance::apply_chunk(std::span<const EdgeUpdate> chunk, int threads) {
   BMF_REQUIRE(static_cast<std::int64_t>(chunk.size()) == chunk_size_,
               "Problem1Instance: chunk must contain exactly alpha*n updates");
-  for (const EdgeUpdate& up : chunk) {
-    if (up.empty()) continue;
-    if (up.insert) {
-      if (g_.insert(up.u, up.v)) oracle_.on_insert(up.u, up.v);
-    } else {
-      if (g_.erase(up.u, up.v)) oracle_.on_erase(up.u, up.v);
-    }
-  }
+  const int t = ThreadPool::resolve_threads(threads);
+  const std::vector<std::uint8_t> flags = g_.resolve_structural(chunk, t);
+  g_.apply_structural(chunk, flags, t);
+  oracle_.on_batch(chunk, flags, t);
   queries_left_ = q_;
 }
 

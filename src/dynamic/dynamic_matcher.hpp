@@ -16,8 +16,47 @@
 ///    so a Theorem 6.2 rebuild is triggered on that schedule — O(1/eps)
 ///    rebuilds per Theta(n) updates, each costing poly(1/eps) A_weak calls.
 ///
+/// ## Batched updates and the batch determinism contract
+///
+/// `apply_batch` consumes a whole span of updates at once and is
+/// **bit-identical to the sequential `apply` loop** — same matching (mate by
+/// mate), same graph, same oracle state, same `updates()` / `rebuilds()` /
+/// `weak_calls()` counters — at any `threads` setting, including 1. It gets
+/// its parallelism the way the MPC/CONGEST simulators of PR 1 do (private
+/// slots, ordered merge), in the style of the batch-dynamic literature
+/// (Ghaffari–Trygub 2024):
+///
+///  1. the batch is cut into maximal *conflict-free prefixes*: runs of
+///     updates with pairwise-disjoint endpoints, none of which deletes a
+///     currently matched edge (those repairs rescan whole neighborhoods and
+///     are applied through the serial path between prefixes);
+///  2. within a prefix, per-update decisions (does this update toggle the
+///     edge? does this insertion match two free vertices?) read only the
+///     update's own endpoints, which no other prefix member touches — so
+///     they are computed concurrently against the pre-prefix state and equal
+///     the sequential decisions exactly;
+///  3. a serial O(prefix) scan replays the rebuild budget (`since_rebuild`
+///     and |M| evolve deterministically from the decisions) and truncates the
+///     prefix at the first update whose `maybe_rebuild` would fire, so
+///     rebuilds trigger at exactly the sequential update positions — at most
+///     one Theorem 6.2 rebuild is performed per prefix, and a batch no larger
+///     than the rebuild budget performs at most one rebuild total;
+///  4. graph mutations apply concurrently (disjoint adjacency lists), then
+///     matching commits and `WeakOracle::on_batch` maintenance run serially
+///     in update order, then the rebuild (if armed) runs on a snapshot that
+///     contains exactly the updates before the trigger point.
+///
+/// Every decision is made against deterministic state and merged in batch
+/// order, so results do not depend on thread scheduling; and because the flat
+/// sorted adjacency of DynGraph pins neighbor-scan order, they do not depend
+/// on the platform's hash order either. tests/test_dynamic_batch.cpp pins
+/// sequential == batched at 1, 2, and 8 threads on randomized streams.
+///
 /// Problem1Instance exposes the chunk/query interface verbatim for tests and
-/// for composing with other A_weak implementations (e.g. the OMv-backed one).
+/// for composing with other A_weak implementations (e.g. the OMv-backed one);
+/// its `apply_chunk` resolves a chunk's structural subset and applies it with
+/// per-vertex parallel replay (chunks carry no matching repair, so whole
+/// chunks parallelize without prefix cuts).
 
 #include <cstdint>
 
@@ -28,25 +67,15 @@
 
 namespace bmf {
 
-struct EdgeUpdate {
-  Vertex u = kNoVertex;
-  Vertex v = kNoVertex;
-  bool insert = true;
-  /// Problem 1 allows "empty updates" that change nothing but count toward
-  /// chunk accounting.
-  [[nodiscard]] bool empty() const { return u == kNoVertex; }
-
-  static EdgeUpdate ins(Vertex u, Vertex v) { return {u, v, true}; }
-  static EdgeUpdate del(Vertex u, Vertex v) { return {u, v, false}; }
-  static EdgeUpdate none() { return {}; }
-};
-
 struct DynamicMatcherConfig {
   double eps = 0.25;
   WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps is forced to eps/2)
   /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
   std::int64_t rebuild_every = 0;
   std::uint64_t seed = 1;
+  /// Thread-pool fan-out for `apply_batch` (0 = hardware concurrency,
+  /// 1 = serial). Results are bit-identical at any setting.
+  int threads = 0;
 };
 
 class DynamicMatcher {
@@ -59,6 +88,12 @@ class DynamicMatcher {
   void erase(Vertex u, Vertex v);
   void apply(const EdgeUpdate& update);
 
+  /// Applies a whole batch of updates; bit-identical to calling `apply` on
+  /// each element in order (see the batch determinism contract above), with
+  /// conflict-free prefixes processed in parallel on `cfg.threads`. The whole
+  /// batch is validated before any mutation.
+  void apply_batch(std::span<const EdgeUpdate> batch);
+
   [[nodiscard]] const Matching& matching() const { return m_; }
   [[nodiscard]] const DynGraph& graph() const { return g_; }
 
@@ -69,7 +104,24 @@ class DynamicMatcher {
  private:
   void on_structural_change(Vertex u, Vertex v, bool inserted);
   void maybe_rebuild();
+  void rebuild();
   void try_match(Vertex v);
+
+  /// Updates allowed between rebuilds at matching size `sz` — the one
+  /// formula behind both maybe_rebuild() and the batched budget replay (the
+  /// bit-identical contract depends on them agreeing).
+  [[nodiscard]] std::int64_t rebuild_budget(std::int64_t sz) const;
+
+  /// True for a structural deletion of a currently matched edge — the one
+  /// update kind whose repair reads beyond its own endpoints.
+  [[nodiscard]] bool is_heavy(const EdgeUpdate& up) const;
+
+  /// Length of the maximal conflict-free prefix of `rest` (>= 1 unless empty).
+  [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest);
+
+  /// Processes a conflict-free prefix; returns how many updates were
+  /// consumed (the prefix is truncated at the first rebuild trigger).
+  std::size_t apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
 
   DynGraph g_;
   WeakOracle& oracle_;
@@ -78,6 +130,14 @@ class DynamicMatcher {
   std::int64_t updates_ = 0;
   std::int64_t since_rebuild_ = 0;
   std::int64_t rebuilds_ = 0;
+
+  // Reused apply_batch scratch: endpoint marks (epoch-stamped; 64-bit so the
+  // epoch cannot wrap within a process lifetime) and per-update decision
+  // slots.
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint8_t> structural_;
+  std::vector<std::uint8_t> match_;
 };
 
 /// Problem 1 (Section 7.2), verbatim: chunks of exactly alpha*n updates, then
@@ -88,8 +148,10 @@ class Problem1Instance {
                    double delta, double alpha);
 
   /// Applies one chunk (must contain exactly chunk_size() updates, empty
-  /// updates allowed) and re-arms the query budget.
-  void apply_chunk(std::span<const EdgeUpdate> chunk);
+  /// updates allowed) and re-arms the query budget. The chunk's structural
+  /// subset is resolved and applied batch-parallel on `threads`; the final
+  /// graph and oracle state equal the one-at-a-time replay at any setting.
+  void apply_chunk(std::span<const EdgeUpdate> chunk, int threads = 1);
 
   /// One adaptive query; throws if the per-chunk budget q is exhausted.
   [[nodiscard]] WeakQueryResult query(std::span<const Vertex> s);

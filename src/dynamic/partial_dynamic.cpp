@@ -1,16 +1,33 @@
 #include "dynamic/partial_dynamic.hpp"
 
+#include <unordered_set>
+
 #include "util/assert.hpp"
 
 namespace bmf {
+namespace {
+
+std::vector<EdgeUpdate> to_updates(std::span<const Edge> edges, bool insert) {
+  std::vector<EdgeUpdate> ups;
+  ups.reserve(edges.size());
+  for (const Edge& e : edges)
+    ups.push_back(insert ? EdgeUpdate::ins(e.u, e.v) : EdgeUpdate::del(e.u, e.v));
+  return ups;
+}
+
+}  // namespace
+
+void IncrementalMatcher::insert_batch(std::span<const Edge> edges) {
+  inner_.apply_batch(to_updates(edges, /*insert=*/true));
+}
 
 DecrementalMatcher::DecrementalMatcher(const Graph& initial, WeakOracle& oracle,
                                        const DynamicMatcherConfig& cfg) {
   matcher_ = std::make_unique<DynamicMatcher>(initial.num_vertices(), oracle, cfg);
-  // Load the host graph through the update interface so the oracle sees
-  // every edge; the matcher's own rebuild schedule boosts along the way and
-  // leaves a (1+eps)-approximate matching at handover.
-  for (const Edge& e : initial.edges()) matcher_->insert(e.u, e.v);
+  // Load the host graph through the batched update interface so the oracle
+  // sees every edge; the matcher's own rebuild schedule boosts along the way
+  // and leaves a (1+eps)-approximate matching at handover.
+  matcher_->apply_batch(to_updates(initial.edges(), /*insert=*/true));
   initial_updates_ = matcher_->updates();
 }
 
@@ -18,6 +35,19 @@ void DecrementalMatcher::erase(Vertex u, Vertex v) {
   BMF_REQUIRE(matcher_->graph().has_edge(u, v),
               "DecrementalMatcher::erase: edge not present");
   matcher_->erase(u, v);
+}
+
+void DecrementalMatcher::erase_batch(std::span<const Edge> edges) {
+  // Replay presence across the batch so duplicates fail exactly like the
+  // second of two one-at-a-time erase() calls would.
+  std::unordered_set<std::uint64_t> doomed;
+  for (const Edge& e : edges) {
+    BMF_REQUIRE(matcher_->graph().has_edge(e.u, e.v),
+                "DecrementalMatcher::erase_batch: edge not present");
+    const bool fresh = doomed.insert(edge_key(e.u, e.v)).second;
+    BMF_REQUIRE(fresh, "DecrementalMatcher::erase_batch: duplicate deletion");
+  }
+  matcher_->apply_batch(to_updates(edges, /*insert=*/false));
 }
 
 }  // namespace bmf

@@ -14,6 +14,7 @@
 /// maximal floor is maintained by endpoint rescans.
 
 #include <memory>
+#include <span>
 
 #include "dynamic/dynamic_matcher.hpp"
 
@@ -25,6 +26,10 @@ class IncrementalMatcher {
       : inner_(n, oracle, cfg) {}
 
   void insert(Vertex u, Vertex v) { inner_.insert(u, v); }
+
+  /// Absorbs a batch of insertions; bit-identical to inserting one by one
+  /// (DynamicMatcher's batch determinism contract).
+  void insert_batch(std::span<const Edge> edges);
 
   [[nodiscard]] const Matching& matching() const { return inner_.matching(); }
   [[nodiscard]] const DynGraph& graph() const { return inner_.graph(); }
@@ -43,6 +48,10 @@ class DecrementalMatcher {
                      const DynamicMatcherConfig& cfg);
 
   void erase(Vertex u, Vertex v);
+
+  /// Deletes a batch of distinct, currently present edges; bit-identical to
+  /// erasing one by one in order.
+  void erase_batch(std::span<const Edge> edges);
 
   [[nodiscard]] const Matching& matching() const { return matcher_->matching(); }
   [[nodiscard]] const DynGraph& graph() const { return matcher_->graph(); }

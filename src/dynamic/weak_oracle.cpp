@@ -6,8 +6,31 @@
 
 namespace bmf {
 
+void WeakOracle::on_batch(std::span<const EdgeUpdate> updates,
+                          std::span<const std::uint8_t> structural,
+                          int /*threads*/) {
+  BMF_REQUIRE(structural.size() == updates.size(),
+              "WeakOracle::on_batch: flag span size mismatch");
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!structural[i]) continue;
+    if (updates[i].insert)
+      on_insert(updates[i].u, updates[i].v);
+    else
+      on_erase(updates[i].u, updates[i].v);
+  }
+}
+
 MatrixWeakOracle::MatrixWeakOracle(Vertex n) : n_(n), adj_(n, n) {
   BMF_REQUIRE(n >= 0, "MatrixWeakOracle: negative vertex count");
+}
+
+void MatrixWeakOracle::on_batch(std::span<const EdgeUpdate> updates,
+                                std::span<const std::uint8_t> structural,
+                                int threads) {
+  for_each_incident_by_vertex(updates, structural, threads,
+                              [this](Vertex vertex, Vertex other, bool ins) {
+                                adj_.set(vertex, other, ins);
+                              });
 }
 
 MatrixWeakOracle MatrixWeakOracle::from_graph(const Graph& g) {

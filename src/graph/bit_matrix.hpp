@@ -61,10 +61,12 @@ class BitMatrix {
   void multiply(const BitVec& v, BitVec& out) const;
 
   /// First column c in row r with M[r][c] AND mask[c], or -1.
-  [[nodiscard]] std::int64_t first_common_in_row(std::int64_t r, const BitVec& mask) const;
+  [[nodiscard]] std::int64_t first_common_in_row(std::int64_t r,
+                                                 const BitVec& mask) const;
 
   /// Number of columns c with M[r][c] AND mask[c].
-  [[nodiscard]] std::int64_t row_intersect_count(std::int64_t r, const BitVec& mask) const;
+  [[nodiscard]] std::int64_t row_intersect_count(std::int64_t r,
+                                                 const BitVec& mask) const;
 
   /// Raw 64-bit word w of row r (bit c-lo set iff M[r][64w + c-lo]).
   [[nodiscard]] std::uint64_t row_word(std::int64_t r, std::int64_t w) const {

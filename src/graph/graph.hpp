@@ -27,6 +27,14 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+/// Canonical 64-bit key of the undirected edge {u, v} (endpoint order
+/// agnostic); the one packing used by every dedup/lookup set in the repo.
+[[nodiscard]] inline std::uint64_t edge_key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
 class Graph {
  public:
   Graph() = default;
@@ -89,6 +97,7 @@ class GraphBuilder {
 [[nodiscard]] Graph make_graph(Vertex num_vertices, std::span<const Edge> edges);
 
 /// The subgraph induced by `keep` (keep[v] != 0), preserving vertex ids.
-[[nodiscard]] Graph induced_subgraph(const Graph& g, std::span<const std::uint8_t> keep);
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     std::span<const std::uint8_t> keep);
 
 }  // namespace bmf

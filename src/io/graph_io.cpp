@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -44,6 +45,8 @@ ParsedEdges parse_lines(std::istream& in, bool weighted) {
     }
     BMF_REQUIRE(u >= 0 && v >= 0,
                 "edge list: negative vertex id at line " + std::to_string(line_no));
+    BMF_REQUIRE(u != v,
+                "edge list: self-loop at line " + std::to_string(line_no));
     out.edges.push_back({static_cast<Vertex>(u), static_cast<Vertex>(v),
                          static_cast<Weight>(w)});
     out.max_id = std::max({out.max_id, static_cast<Vertex>(u), static_cast<Vertex>(v)});
@@ -51,14 +54,26 @@ ParsedEdges parse_lines(std::istream& in, bool weighted) {
   return out;
 }
 
+// All readers share one policy: a declared vertex count smaller than the ids
+// actually used is a hard error, never a silent override.
+Vertex resolve_vertex_count(const ParsedEdges& parsed) {
+  const Vertex needed = static_cast<Vertex>(parsed.max_id + 1);
+  if (parsed.declared >= 0) {
+    BMF_REQUIRE(parsed.declared >= needed,
+                "edge list: '# vertices' header smaller than 1 + largest "
+                "vertex id used");
+    return parsed.declared;
+  }
+  return needed;
+}
+
 }  // namespace
 
 Graph read_edge_list(std::istream& in) {
   const ParsedEdges parsed = parse_lines(in, /*weighted=*/false);
-  const Vertex n = std::max(parsed.declared, static_cast<Vertex>(parsed.max_id + 1));
-  GraphBuilder b(std::max<Vertex>(n, 0));
+  GraphBuilder b(resolve_vertex_count(parsed));
   for (const WeightedEdge& e : parsed.edges) b.add_edge(e.u, e.v);
-  return b.build();
+  return b.build();  // the builder deduplicates repeated edges
 }
 
 Graph read_edge_list_file(const std::string& path) {
@@ -70,12 +85,12 @@ Graph read_edge_list_file(const std::string& path) {
 WeightedGraph read_weighted_edge_list(std::istream& in) {
   const ParsedEdges parsed = parse_lines(in, /*weighted=*/true);
   WeightedGraph wg;
-  wg.n = std::max(parsed.declared, static_cast<Vertex>(parsed.max_id + 1));
-  wg.n = std::max<Vertex>(wg.n, 0);
-  for (const WeightedEdge& e : parsed.edges) {
-    BMF_REQUIRE(e.u != e.v, "edge list: self-loop");
-    wg.edges.push_back(e);
-  }
+  wg.n = resolve_vertex_count(parsed);
+  // Deduplicate repeated pairs (first occurrence wins), matching the
+  // unweighted readers' policy.
+  std::unordered_set<std::uint64_t> seen;
+  for (const WeightedEdge& e : parsed.edges)
+    if (seen.insert(edge_key(e.u, e.v)).second) wg.edges.push_back(e);
   return wg;
 }
 
@@ -107,6 +122,7 @@ Graph read_dimacs(std::istream& in) {
       BMF_REQUIRE(n >= 0, "dimacs: edge before problem line");
       BMF_REQUIRE(u >= 1 && v >= 1 && u <= n && v <= n,
                   "dimacs: vertex id out of range");
+      BMF_REQUIRE(u != v, "dimacs: self-loop");
       edges.push_back({static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1)});
     }
   }

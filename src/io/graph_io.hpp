@@ -8,6 +8,11 @@
 ///    1 + the largest id unless a `# vertices N` header is present.
 ///  * DIMACS — `c` comment lines, one `p edge N M` problem line, `e u v`
 ///    edge lines with 1-based ids (the format used by matching solvers).
+///
+/// All readers apply one validation policy: self-loops are rejected, repeated
+/// edges are deduplicated (first occurrence wins for weighted input), and a
+/// declared vertex count (`# vertices N` / `p edge N M`) smaller than
+/// 1 + the largest id actually used is a hard error, never a silent override.
 
 #include <iosfwd>
 #include <string>

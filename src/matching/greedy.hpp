@@ -20,7 +20,7 @@ namespace bmf {
 
 /// Greedy maximal matching restricted to edges whose endpoints are both
 /// allowed (allowed[v] != 0).
-[[nodiscard]] Matching greedy_maximal_matching_in(const Graph& g,
-                                                  std::span<const std::uint8_t> allowed);
+[[nodiscard]] Matching greedy_maximal_matching_in(
+    const Graph& g, std::span<const std::uint8_t> allowed);
 
 }  // namespace bmf

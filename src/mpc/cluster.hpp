@@ -62,7 +62,8 @@ class Cluster {
 
   /// One synchronous round: `step(machine, inbox, send)` runs on every
   /// machine; messages sent become next round's inboxes.
-  void superstep(const std::function<void(int machine, const Inbox&, const Sender&)>& step);
+  void superstep(
+      const std::function<void(int machine, const Inbox&, const Sender&)>& step);
 
   /// Charge rounds for an idealized primitive (e.g. O(1)-round sort) without
   /// simulating it message-by-message.

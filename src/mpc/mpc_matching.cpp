@@ -73,8 +73,9 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
         }
       }
       for (const auto& [x, p] : partial) {
-        send(vowner(x),
-             {kVertexMin, static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)), p});
+        send(vowner(x), {kVertexMin,
+                         static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)),
+                         p});
       }
     });
     cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender&) {
@@ -125,7 +126,8 @@ MpcMatchingResult mpc_maximal_matching(Cluster& cluster, const OracleGraph& h,
         }
       }
     });
-    cluster.superstep([&](int m, const Cluster::Inbox& inbox, const Cluster::Sender& send) {
+    cluster.superstep([&](int m, const Cluster::Inbox& inbox,
+                          const Cluster::Sender& send) {
       for (const Msg& msg : inbox) {
         const auto x = static_cast<std::int32_t>(msg.a);
         const auto y = static_cast<std::int32_t>(msg.b);

@@ -43,7 +43,8 @@ void Histogram::add(std::int64_t value) {
 
 std::int64_t Histogram::quantile(double q) const {
   if (total_ == 0) return 0;
-  const auto target = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  const auto target =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
   std::int64_t seen = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];

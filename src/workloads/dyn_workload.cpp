@@ -1,5 +1,6 @@
 #include "workloads/dyn_workload.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -8,18 +9,13 @@
 namespace bmf {
 namespace {
 
-std::uint64_t key(Vertex u, Vertex v) {
-  if (u > v) std::swap(u, v);
-  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
-}
-
 Edge random_fresh_edge(Vertex n, const std::unordered_set<std::uint64_t>& live,
                        Rng& rng) {
   for (;;) {
     const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (u == v) continue;
-    if (!live.contains(key(u, v))) return {std::min(u, v), std::max(u, v)};
+    if (!live.contains(edge_key(u, v))) return {std::min(u, v), std::max(u, v)};
   }
 }
 
@@ -36,7 +32,7 @@ std::vector<EdgeUpdate> dyn_random_updates(Vertex n, std::int64_t count,
     const bool do_insert = live_list.empty() || rng.next_bool(insert_prob);
     if (do_insert) {
       const Edge e = random_fresh_edge(n, live, rng);
-      live.insert(key(e.u, e.v));
+      live.insert(edge_key(e.u, e.v));
       live_list.push_back(e);
       updates.push_back(EdgeUpdate::ins(e.u, e.v));
     } else {
@@ -45,7 +41,7 @@ std::vector<EdgeUpdate> dyn_random_updates(Vertex n, std::int64_t count,
       const Edge e = live_list[i];
       live_list[i] = live_list.back();
       live_list.pop_back();
-      live.erase(key(e.u, e.v));
+      live.erase(edge_key(e.u, e.v));
       updates.push_back(EdgeUpdate::del(e.u, e.v));
     }
   }
@@ -63,12 +59,12 @@ std::vector<EdgeUpdate> dyn_sliding_window(Vertex n, std::int64_t window,
     if (static_cast<std::int64_t>(fifo.size()) >= window) {
       const Edge e = fifo.front();
       fifo.pop_front();
-      live.erase(key(e.u, e.v));
+      live.erase(edge_key(e.u, e.v));
       updates.push_back(EdgeUpdate::del(e.u, e.v));
       if (static_cast<std::int64_t>(updates.size()) >= count) break;
     }
     const Edge e = random_fresh_edge(n, live, rng);
-    live.insert(key(e.u, e.v));
+    live.insert(edge_key(e.u, e.v));
     fifo.push_back(e);
     updates.push_back(EdgeUpdate::ins(e.u, e.v));
   }
@@ -86,7 +82,7 @@ std::vector<EdgeUpdate> dyn_churn_planted(Vertex n, std::int64_t count, Rng& rng
   for (Vertex i = 0; i < half && static_cast<std::int64_t>(updates.size()) < count;
        ++i) {
     planted.push_back({i, i + half});
-    live.insert(key(i, i + half));
+    live.insert(edge_key(i, i + half));
     updates.push_back(EdgeUpdate::ins(i, i + half));
   }
   // Churn: delete one planted edge, insert a random replacement pair shift.
@@ -94,17 +90,81 @@ std::vector<EdgeUpdate> dyn_churn_planted(Vertex n, std::int64_t count, Rng& rng
     const std::size_t i =
         static_cast<std::size_t>(rng.next_below(planted.size()));
     const Edge old = planted[i];
-    live.erase(key(old.u, old.v));
+    live.erase(edge_key(old.u, old.v));
     updates.push_back(EdgeUpdate::del(old.u, old.v));
     if (static_cast<std::int64_t>(updates.size()) >= count) break;
     // Re-plant the same pair through a random intermediate shift: connect
     // old.u to a random partner w and keep churn local.
     Edge fresh = random_fresh_edge(n, live, rng);
-    live.insert(key(fresh.u, fresh.v));
+    live.insert(edge_key(fresh.u, fresh.v));
     planted[i] = fresh;
     updates.push_back(EdgeUpdate::ins(fresh.u, fresh.v));
   }
   return updates;
+}
+
+std::vector<std::vector<EdgeUpdate>> slice_updates(
+    std::span<const EdgeUpdate> updates, std::int64_t batch_size) {
+  BMF_REQUIRE(batch_size >= 1, "slice_updates: batch_size must be >= 1");
+  std::vector<std::vector<EdgeUpdate>> batches;
+  for (std::size_t i = 0; i < updates.size();
+       i += static_cast<std::size_t>(batch_size)) {
+    const std::size_t len =
+        std::min(static_cast<std::size_t>(batch_size), updates.size() - i);
+    batches.emplace_back(updates.begin() + static_cast<std::ptrdiff_t>(i),
+                         updates.begin() + static_cast<std::ptrdiff_t>(i + len));
+  }
+  return batches;
+}
+
+std::vector<std::vector<EdgeUpdate>> dyn_batched_bursts(
+    Vertex n, std::int64_t batches, std::int64_t batch_size, double insert_prob,
+    double hot_fraction, Rng& rng) {
+  BMF_REQUIRE(n >= 4 && batches >= 0 && batch_size >= 1 && hot_fraction >= 0 &&
+                  hot_fraction <= 1,
+              "dyn_batched_bursts: bad parameters");
+  const Vertex hot = std::max<Vertex>(2, n / 16);
+  std::unordered_set<std::uint64_t> live;
+  std::vector<Edge> live_list;
+  std::vector<std::vector<EdgeUpdate>> out;
+  out.reserve(static_cast<std::size_t>(batches));
+  for (std::int64_t b = 0; b < batches; ++b) {
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(static_cast<std::size_t>(batch_size));
+    while (static_cast<std::int64_t>(batch.size()) < batch_size) {
+      const bool do_insert = live_list.empty() || rng.next_bool(insert_prob);
+      if (do_insert) {
+        Edge e{kNoVertex, kNoVertex};
+        if (rng.next_bool(hot_fraction)) {
+          // Try a fresh edge inside the hot set; it may be saturated, in
+          // which case fall through to a global draw.
+          for (int attempt = 0; attempt < 32; ++attempt) {
+            const auto u = static_cast<Vertex>(
+                rng.next_below(static_cast<std::uint64_t>(hot)));
+            const auto v = static_cast<Vertex>(
+                rng.next_below(static_cast<std::uint64_t>(hot)));
+            if (u == v || live.contains(edge_key(u, v))) continue;
+            e = {std::min(u, v), std::max(u, v)};
+            break;
+          }
+        }
+        if (e.u == kNoVertex) e = random_fresh_edge(n, live, rng);
+        live.insert(edge_key(e.u, e.v));
+        live_list.push_back(e);
+        batch.push_back(EdgeUpdate::ins(e.u, e.v));
+      } else {
+        const std::size_t i =
+            static_cast<std::size_t>(rng.next_below(live_list.size()));
+        const Edge e = live_list[i];
+        live_list[i] = live_list.back();
+        live_list.pop_back();
+        live.erase(edge_key(e.u, e.v));
+        batch.push_back(EdgeUpdate::del(e.u, e.v));
+      }
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
 }
 
 }  // namespace bmf

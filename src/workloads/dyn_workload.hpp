@@ -7,6 +7,7 @@
 /// graph starts empty, as Problem 1 requires.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dynamic/dynamic_matcher.hpp"
@@ -36,5 +37,20 @@ namespace bmf {
 [[nodiscard]] std::vector<EdgeUpdate> dyn_churn_planted(Vertex n,
                                                         std::int64_t count,
                                                         Rng& rng);
+
+/// Cuts an update stream into consecutive batches of `batch_size` updates
+/// (the last batch may be shorter). Feeding the slices to
+/// `DynamicMatcher::apply_batch` in order replays the stream exactly.
+[[nodiscard]] std::vector<std::vector<EdgeUpdate>> slice_updates(
+    std::span<const EdgeUpdate> updates, std::int64_t batch_size);
+
+/// Batched bursts with endpoint skew: like dyn_random_updates but emitted as
+/// ready-made batches, with a `hot_fraction` of insertions drawn from a small
+/// hot vertex set (|hot| = max(2, n/16)). Hot bursts force endpoint conflicts
+/// inside a batch, stressing apply_batch's conflict-resolution pass rather
+/// than its embarrassingly-parallel fast path.
+[[nodiscard]] std::vector<std::vector<EdgeUpdate>> dyn_batched_bursts(
+    Vertex n, std::int64_t batches, std::int64_t batch_size, double insert_prob,
+    double hot_fraction, Rng& rng);
 
 }  // namespace bmf

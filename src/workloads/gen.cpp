@@ -5,14 +5,6 @@
 #include "util/assert.hpp"
 
 namespace bmf {
-namespace {
-
-std::uint64_t edge_key(Vertex u, Vertex v) {
-  if (u > v) std::swap(u, v);
-  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
-}
-
-}  // namespace
 
 Graph gen_random_graph(Vertex n, std::int64_t m, Rng& rng) {
   BMF_REQUIRE(n >= 2, "gen_random_graph: need n >= 2");
@@ -37,7 +29,8 @@ Graph gen_random_bipartite(Vertex left, Vertex right, std::int64_t m, Rng& rng) 
   GraphBuilder b(left + right);
   std::unordered_set<std::uint64_t> seen;
   while (static_cast<std::int64_t>(seen.size()) < m) {
-    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(left)));
+    const auto u =
+        static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(left)));
     const auto v = static_cast<Vertex>(
         left + static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(right))));
     if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/partial_dynamic.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "workloads/dyn_workload.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+/// Everything the batch determinism contract promises to preserve.
+struct RunResult {
+  std::vector<Vertex> mates;
+  std::int64_t matching_size = 0;
+  std::int64_t updates = 0;
+  std::int64_t rebuilds = 0;
+  std::int64_t weak_calls = 0;
+  std::vector<Edge> graph_edges;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult collect(const DynamicMatcher& dm) {
+  RunResult r;
+  for (Vertex v = 0; v < dm.graph().num_vertices(); ++v)
+    r.mates.push_back(dm.matching().mate(v));
+  r.matching_size = dm.matching().size();
+  r.updates = dm.updates();
+  r.rebuilds = dm.rebuilds();
+  r.weak_calls = dm.weak_calls();
+  const Graph s = dm.graph().snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+RunResult run_sequential(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
+                         std::uint64_t seed) {
+  MatrixWeakOracle oracle(n);
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  DynamicMatcher dm(n, oracle, cfg);
+  for (const EdgeUpdate& up : ups) dm.apply(up);
+  return collect(dm);
+}
+
+RunResult run_batched(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
+                      std::uint64_t seed, int threads, std::int64_t batch_size) {
+  MatrixWeakOracle oracle(n);
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  DynamicMatcher dm(n, oracle, cfg);
+  for (const auto& batch : slice_updates(ups, batch_size)) dm.apply_batch(batch);
+  return collect(dm);
+}
+
+void expect_batched_equals_sequential(Vertex n, const std::vector<EdgeUpdate>& ups,
+                                      double eps, std::uint64_t seed) {
+  const RunResult want = run_sequential(n, ups, eps, seed);
+  EXPECT_GT(want.rebuilds, 0) << "stream too small to exercise rebuilds";
+  for (const int threads : {1, 2, 8})
+    for (const std::int64_t batch_size :
+         {std::int64_t{1}, std::int64_t{7}, std::int64_t{64},
+          static_cast<std::int64_t>(ups.size())}) {
+      const RunResult got = run_batched(n, ups, eps, seed, threads, batch_size);
+      EXPECT_EQ(got, want) << "threads=" << threads << " batch=" << batch_size
+                           << " seed=" << seed;
+    }
+}
+
+class BatchDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchDifferential, RandomMixedStreams) {
+  Rng rng(GetParam());
+  const auto ups = dyn_random_updates(48, 400, 0.7, rng);
+  expect_batched_equals_sequential(48, ups, 0.25, GetParam());
+}
+
+TEST_P(BatchDifferential, DeletionHeavyStreams) {
+  Rng rng(GetParam() + 100);
+  const auto ups = dyn_random_updates(40, 400, 0.45, rng);
+  expect_batched_equals_sequential(40, ups, 0.5, GetParam());
+}
+
+TEST_P(BatchDifferential, SlidingWindow) {
+  Rng rng(GetParam() + 200);
+  const auto ups = dyn_sliding_window(40, 60, 350, rng);
+  expect_batched_equals_sequential(40, ups, 0.25, GetParam());
+}
+
+TEST_P(BatchDifferential, ChurnPlanted) {
+  Rng rng(GetParam() + 300);
+  const auto ups = dyn_churn_planted(40, 350, rng);
+  expect_batched_equals_sequential(40, ups, 0.25, GetParam());
+}
+
+TEST_P(BatchDifferential, HotBurstBatches) {
+  // Skewed batches maximize endpoint conflicts inside each batch, driving
+  // the prefix-cutting pass rather than the embarrassingly-parallel path.
+  Rng rng(GetParam() + 400);
+  const auto batches = dyn_batched_bursts(48, 8, 50, 0.65, 0.8, rng);
+  std::vector<EdgeUpdate> flat;
+  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+  const RunResult want = run_sequential(48, flat, 0.25, GetParam());
+  for (const int threads : {1, 2, 8}) {
+    MatrixWeakOracle oracle(48);
+    DynamicMatcherConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = GetParam();
+    cfg.threads = threads;
+    DynamicMatcher dm(48, oracle, cfg);
+    for (const auto& b : batches) dm.apply_batch(b);
+    EXPECT_EQ(collect(dm), want) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferential, ::testing::Values(1u, 2u, 3u));
+
+TEST(BatchDifferential, EmptyUpdatesAndNoOps) {
+  // Empty updates, duplicate insertions, deletions of absent edges, and
+  // re-insertions all count toward chunk accounting; the batch path must
+  // agree on every counter.
+  std::vector<EdgeUpdate> ups;
+  for (Vertex i = 0; i < 10; ++i) ups.push_back(EdgeUpdate::ins(i, i + 10));
+  ups.push_back(EdgeUpdate::none());
+  ups.push_back(EdgeUpdate::ins(0, 10));   // duplicate insert (no-op)
+  ups.push_back(EdgeUpdate::del(5, 19));   // absent edge (no-op)
+  ups.push_back(EdgeUpdate::del(0, 10));   // matched deletion (heavy)
+  ups.push_back(EdgeUpdate::none());
+  ups.push_back(EdgeUpdate::ins(0, 10));   // re-insert
+  ups.push_back(EdgeUpdate::ins(10, 11));  // conflicts with the re-insert
+  const RunResult want = run_sequential(20, ups, 0.5, 1);
+  for (const int threads : {1, 2, 8})
+    EXPECT_EQ(run_batched(20, ups, 0.5, 1, threads, 100), want)
+        << "threads=" << threads;
+}
+
+TEST(BatchDifferential, InvalidUpdateRejectedBeforeMutation) {
+  MatrixWeakOracle oracle(8);
+  DynamicMatcherConfig cfg;
+  DynamicMatcher dm(8, oracle, cfg);
+  std::vector<EdgeUpdate> bad{EdgeUpdate::ins(0, 1), EdgeUpdate::ins(3, 3)};
+  EXPECT_THROW(dm.apply_batch(bad), std::invalid_argument);
+  // The whole batch is validated up front: nothing was applied.
+  EXPECT_EQ(dm.updates(), 0);
+  EXPECT_EQ(dm.graph().num_edges(), 0);
+}
+
+TEST(Problem1Batch, ChunkThreadCountEquivalence) {
+  // Chunks with duplicate edges and insert/erase toggles of the same edge
+  // must resolve to the same graph and oracle state at any thread count.
+  const Vertex n = 40;
+  std::vector<EdgeUpdate> chunk;
+  for (Vertex i = 0; i < 8; ++i) chunk.push_back(EdgeUpdate::ins(i, i + 8));
+  chunk.push_back(EdgeUpdate::ins(0, 8));   // duplicate
+  chunk.push_back(EdgeUpdate::del(0, 8));   // toggle off
+  chunk.push_back(EdgeUpdate::none());
+  ASSERT_EQ(chunk.size(), 11u);
+
+  std::vector<Graph> snapshots;
+  std::vector<std::vector<Edge>> answers;
+  for (const int threads : {1, 2, 8}) {
+    MatrixWeakOracle oracle(n);
+    Problem1Instance p1(n, oracle, /*q=*/2, /*lambda=*/0.5, /*delta=*/0.01,
+                        /*alpha=*/0.275);
+    ASSERT_EQ(p1.chunk_size(), 11);
+    p1.apply_chunk(chunk, threads);
+    snapshots.push_back(p1.graph().snapshot());
+    std::vector<Vertex> s;
+    for (Vertex v = 0; v < n; ++v) s.push_back(v);
+    answers.push_back(p1.query(s).matching);
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    ASSERT_EQ(snapshots[i].num_edges(), snapshots[0].num_edges());
+    for (std::int64_t e = 0; e < snapshots[0].num_edges(); ++e)
+      EXPECT_EQ(snapshots[i].edges()[static_cast<std::size_t>(e)],
+                snapshots[0].edges()[static_cast<std::size_t>(e)]);
+    EXPECT_EQ(answers[i], answers[0]);
+  }
+  EXPECT_FALSE(snapshots[0].has_edge(0, 8));  // the toggle netted out
+  EXPECT_EQ(snapshots[0].num_edges(), 7);
+}
+
+TEST(PartialDynamicBatch, IncrementalBatchMatchesSerial) {
+  Rng rng(5);
+  const Graph g = gen_random_graph(40, 140, rng);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.threads = 4;
+  MatrixWeakOracle o1(40), o2(40);
+  IncrementalMatcher serial(40, o1, cfg), batched(40, o2, cfg);
+  for (const Edge& e : g.edges()) serial.insert(e.u, e.v);
+  batched.insert_batch(g.edges());
+  EXPECT_EQ(serial.rebuilds(), batched.rebuilds());
+  EXPECT_EQ(serial.matching().size(), batched.matching().size());
+  for (Vertex v = 0; v < 40; ++v)
+    EXPECT_EQ(serial.matching().mate(v), batched.matching().mate(v));
+}
+
+TEST(PartialDynamicBatch, DecrementalEraseBatchMatchesSerial) {
+  Rng rng(6);
+  const Graph g = gen_random_graph(36, 120, rng);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.threads = 4;
+  MatrixWeakOracle o1(36), o2(36);
+  DecrementalMatcher serial(g, o1, cfg), batched(g, o2, cfg);
+  std::vector<Edge> doomed(g.edges().begin(), g.edges().begin() + 40);
+  for (const Edge& e : doomed) serial.erase(e.u, e.v);
+  batched.erase_batch(doomed);
+  EXPECT_EQ(serial.updates(), batched.updates());
+  EXPECT_EQ(serial.rebuilds(), batched.rebuilds());
+  for (Vertex v = 0; v < 36; ++v)
+    EXPECT_EQ(serial.matching().mate(v), batched.matching().mate(v));
+}
+
+TEST(PartialDynamicBatch, EraseBatchRejectsDuplicatesAndAbsentEdges) {
+  const Graph g = make_graph(4, std::vector<Edge>{{0, 1}, {2, 3}});
+  DynamicMatcherConfig cfg;
+  MatrixWeakOracle oracle(4);
+  DecrementalMatcher dec(g, oracle, cfg);
+  // A duplicated deletion must fail like the second of two erase() calls.
+  EXPECT_THROW(dec.erase_batch(std::vector<Edge>{{0, 1}, {0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(dec.erase_batch(std::vector<Edge>{{0, 2}}), std::invalid_argument);
+  dec.erase_batch(std::vector<Edge>{{0, 1}});
+  EXPECT_FALSE(dec.graph().has_edge(0, 1));
+}
+
+TEST(DynWorkloads, SliceUpdatesRoundtrip) {
+  Rng rng(9);
+  const auto ups = dyn_random_updates(20, 103, 0.6, rng);
+  const auto batches = slice_updates(ups, 10);
+  ASSERT_EQ(batches.size(), 11u);
+  EXPECT_EQ(batches.back().size(), 3u);
+  std::size_t i = 0;
+  for (const auto& b : batches)
+    for (const EdgeUpdate& up : b) {
+      EXPECT_EQ(up.u, ups[i].u);
+      EXPECT_EQ(up.v, ups[i].v);
+      EXPECT_EQ(up.insert, ups[i].insert);
+      ++i;
+    }
+  EXPECT_EQ(i, ups.size());
+}
+
+TEST(DynWorkloads, BatchedBurstsAreValidAndSkewed) {
+  Rng rng(11);
+  const auto batches = dyn_batched_bursts(64, 6, 40, 0.7, 0.9, rng);
+  ASSERT_EQ(batches.size(), 6u);
+  DynGraph g(64);
+  std::int64_t hot_endpoints = 0, endpoints = 0;
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.size(), 40u);
+    for (const EdgeUpdate& up : b) {
+      if (up.insert) {
+        EXPECT_TRUE(g.insert(up.u, up.v));
+      } else {
+        EXPECT_TRUE(g.erase(up.u, up.v));
+      }
+      endpoints += 2;
+      hot_endpoints += (up.u < 4) + (up.v < 4);  // hot set = max(2, 64/16) = 4
+    }
+  }
+  // The 4-vertex hot set saturates fast (only 6 possible edges), so the
+  // global fallback draws too — but the hot share must still sit far above
+  // the uniform baseline of 4/64 = 6.25% of endpoints.
+  EXPECT_GT(hot_endpoints * 5, endpoints);
+}
+
+}  // namespace
+}  // namespace bmf

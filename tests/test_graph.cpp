@@ -79,6 +79,70 @@ TEST(DynGraph, SnapshotMatchesState) {
   EXPECT_FALSE(s.has_edge(2, 3));
 }
 
+TEST(DynGraph, NeighborsAreSortedAscending) {
+  DynGraph g(8);
+  for (Vertex v : {5, 2, 7, 1, 6}) g.insert(3, v);
+  g.erase(3, 6);
+  const auto nb = g.neighbors(3);
+  const std::vector<Vertex> want{1, 2, 5, 7};
+  ASSERT_EQ(nb.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(nb[i], want[i]);
+}
+
+TEST(DynGraph, SnapshotOrderIsInsertionOrderIndependent) {
+  // Pin the determinism fix: the same edge set inserted in any order (here a
+  // seeded shuffle) must snapshot to the exact same edge sequence — sorted
+  // lexicographically with u < v — so seeded downstream runs reproduce across
+  // platforms and standard libraries.
+  Rng rng(17);
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 12; ++u)
+    for (Vertex v = u + 1; v < 12; ++v)
+      if (rng.next_bool(0.4)) edges.push_back({u, v});
+  ASSERT_GT(edges.size(), 10u);
+
+  std::vector<Edge> shuffled = edges;
+  rng.shuffle(shuffled);
+  ASSERT_NE(shuffled, edges);  // the shuffle actually moved something
+
+  DynGraph g(12);
+  for (const Edge& e : shuffled) g.insert(e.u, e.v);
+  const Graph s = g.snapshot();
+  ASSERT_EQ(s.num_edges(), static_cast<std::int64_t>(edges.size()));
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(s.edges()[i].u, edges[i].u) << "position " << i;
+    EXPECT_EQ(s.edges()[i].v, edges[i].v) << "position " << i;
+  }
+}
+
+TEST(DynGraph, BatchResolveAndApplyMatchesSerialReplay) {
+  // resolve_structural + apply_structural over a batch with duplicates and
+  // same-edge toggles must equal the one-at-a-time replay, at any threads.
+  std::vector<EdgeUpdate> batch{
+      EdgeUpdate::ins(0, 1), EdgeUpdate::ins(1, 0),  // duplicate
+      EdgeUpdate::del(0, 1), EdgeUpdate::ins(0, 1),  // toggle off and on
+      EdgeUpdate::ins(2, 3), EdgeUpdate::del(4, 5),  // absent deletion
+      EdgeUpdate::none(),    EdgeUpdate::ins(1, 2)};
+  DynGraph serial(6);
+  for (const EdgeUpdate& up : batch) {
+    if (up.empty()) continue;
+    if (up.insert)
+      serial.insert(up.u, up.v);
+    else
+      serial.erase(up.u, up.v);
+  }
+  for (const int threads : {1, 4}) {
+    DynGraph g(6);
+    const auto flags = g.resolve_structural(batch, threads);
+    g.apply_structural(batch, flags, threads);
+    EXPECT_EQ(g.num_edges(), serial.num_edges());
+    for (Vertex u = 0; u < 6; ++u)
+      for (Vertex v = 0; v < 6; ++v)
+        EXPECT_EQ(g.has_edge(u, v), serial.has_edge(u, v))
+            << u << "," << v << " threads=" << threads;
+  }
+}
+
 TEST(BitVec, SetGetPopcount) {
   BitVec v(130);
   v.set(0);
@@ -120,7 +184,8 @@ TEST(BitMatrix, MultiplyMatchesNaive) {
   for (std::int64_t r = 0; r < n; ++r) {
     bool expect = false;
     for (std::int64_t c = 0; c < n; ++c)
-      expect |= ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] && v.get(c);
+      expect |=
+          ref[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] && v.get(c);
     EXPECT_EQ(out.get(r), expect) << "row " << r;
   }
 }

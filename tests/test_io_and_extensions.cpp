@@ -73,6 +73,47 @@ TEST(GraphIo, DimacsValidation) {
   EXPECT_THROW((void)read_dimacs(count_mismatch), std::invalid_argument);
 }
 
+TEST(GraphIo, SelfLoopsRejectedByAllReaders) {
+  // One policy across readers: a self-loop is malformed input, not something
+  // to silently drop (the unweighted reader used to wave it through).
+  std::stringstream plain("0 1\n2 2\n");
+  EXPECT_THROW((void)read_edge_list(plain), std::invalid_argument);
+  std::stringstream weighted("0 1 2.0\n2 2 1.5\n");
+  EXPECT_THROW((void)read_weighted_edge_list(weighted), std::invalid_argument);
+  std::stringstream dimacs("p edge 3 1\ne 2 2\n");
+  EXPECT_THROW((void)read_dimacs(dimacs), std::invalid_argument);
+}
+
+TEST(GraphIo, RepeatedEdgesDeduplicated) {
+  std::stringstream plain("0 1\n1 0\n0 1\n1 2\n");
+  const Graph g = read_edge_list(plain);
+  EXPECT_EQ(g.num_edges(), 2);
+
+  // Weighted: first occurrence wins, in either endpoint order.
+  std::stringstream weighted("0 1 2.5\n1 0 9.0\n1 2 4.0\n");
+  const WeightedGraph wg = read_weighted_edge_list(weighted);
+  ASSERT_EQ(wg.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(wg.edges[0].w, 2.5);
+  EXPECT_DOUBLE_EQ(wg.edges[1].w, 4.0);
+
+  // DIMACS deduplicates too; the declared count refers to the edge lines.
+  std::stringstream dimacs("p edge 3 3\ne 1 2\ne 2 1\ne 2 3\n");
+  const Graph gd = read_dimacs(dimacs);
+  EXPECT_EQ(gd.num_edges(), 2);
+}
+
+TEST(GraphIo, UndersizedDeclaredHeaderRejected) {
+  // Declaring fewer vertices than the ids in use used to silently enlarge
+  // the graph; it is now a hard error in both edge-list readers.
+  std::stringstream plain("# vertices 3\n0 1\n2 5\n");
+  EXPECT_THROW((void)read_edge_list(plain), std::invalid_argument);
+  std::stringstream weighted("# vertices 2\n0 4 1.0\n");
+  EXPECT_THROW((void)read_weighted_edge_list(weighted), std::invalid_argument);
+  // An exactly-sized or oversized header still works.
+  std::stringstream exact("# vertices 6\n0 1\n2 5\n");
+  EXPECT_EQ(read_edge_list(exact).num_vertices(), 6);
+}
+
 // ---------------------------------------------------------------------------
 // Augmenting-path diagnostics + independent certificate verification
 // ---------------------------------------------------------------------------

@@ -48,7 +48,8 @@ TEST(Matching, AugmentingPathRejectsBadPaths) {
   const Graph g = make_graph(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
   Matching m(4);
   m.add(1, 2);
-  EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 1}));     // endpoint matched
+  // endpoint matched:
+  EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 1}));
   EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 2, 1, 3}));  // non-edges
   EXPECT_FALSE(is_augmenting_path(g, m, std::vector<Vertex>{0, 1, 2}));  // odd vertices
 }
