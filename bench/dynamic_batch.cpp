@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "util/rng.hpp"
@@ -50,7 +51,8 @@ RunState state_of(const DynamicMatcher& dm) {
   return s;
 }
 
-void run_comparison(const char* title, Vertex n,
+void run_comparison(benchjson::Writer& out, const char* workload,
+                    const char* title, Vertex n,
                     const std::vector<EdgeUpdate>& updates, double eps,
                     std::int64_t rebuild_every, std::int64_t batch_size) {
   const auto batches = slice_updates(updates, batch_size);
@@ -84,37 +86,54 @@ void run_comparison(const char* title, Vertex n,
     for (const auto& batch : batches) dm.apply_batch(batch);
     const double s = timer.seconds();
     const RunState got = state_of(dm);
+    const bool same = got == reference;
     char mode[32];
     std::snprintf(mode, sizeof mode, "batched %dT", threads);
     t.add_row({mode, Table::num(s, 4), Table::num(count / s, 0),
                Table::num(seq_time / s, 2), Table::integer(got.rebuilds),
-               got == reference ? "yes" : "NO"});
+               same ? "yes" : "NO"});
+    out.add({"dynamic_batch", workload, threads, count / s, s * 1000.0,
+             got.rebuilds, same});
   }
   t.print(title);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("hardware_concurrency=%u\n\n", std::thread::hardware_concurrency());
+int main(int argc, char** argv) {
+  const benchjson::BenchArgs args = benchjson::parse_args(argc, argv);
+  std::printf("hardware_concurrency=%u quick=%d\n\n",
+              std::thread::hardware_concurrency(), args.quick ? 1 : 0);
 
+  benchjson::Writer out;
   {
-    const Vertex n = 20000;
+    const Vertex n = args.quick ? 4000 : 20000;
     Rng rng(2025);
-    const auto updates = dyn_random_updates(n, 120000, 0.75, rng);
+    const auto updates =
+        dyn_random_updates(n, args.quick ? 24000 : 120000, 0.75, rng);
     run_comparison(
-        "update-path throughput (n=20k, 120k updates, rebuilds excluded)", n,
-        updates, 0.25, /*rebuild_every=*/1 << 30, /*batch_size=*/2048);
+        out, "update_path",
+        "update-path throughput (rebuilds excluded)", n, updates, 0.25,
+        /*rebuild_every=*/1 << 30, /*batch_size=*/2048);
   }
 
   {
-    const Vertex n = 300;
+    const Vertex n = args.quick ? 200 : 300;
     Rng rng(7);
-    const auto updates = dyn_random_updates(n, 6000, 0.7, rng);
-    run_comparison(
-        "adaptive-rebuild identity (n=300, 6k updates, Theorem 6.2 rebuilds)", n,
-        updates, 0.25, /*rebuild_every=*/0, /*batch_size=*/128);
+    const auto updates = dyn_random_updates(n, args.quick ? 3000 : 6000, 0.7, rng);
+    run_comparison(out, "adaptive_rebuilds",
+                   "adaptive-rebuild identity (Theorem 6.2 rebuilds)", n,
+                   updates, 0.25, /*rebuild_every=*/0, /*batch_size=*/128);
   }
 
+  if (!args.json_path.empty() && !out.write(args.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  if (!out.all_identical()) {
+    std::fprintf(stderr, "DIVERGENCE: a batched run differed from the "
+                         "sequential reference\n");
+    return 1;
+  }
   return 0;
 }

@@ -54,12 +54,14 @@ struct CoreConfig {
 
   std::uint64_t seed = 1;
 
-  /// Thread-pool fan-out for the embarrassingly-parallel loops (independent
-  /// boosting repetitions, oracle sampling, simulator rounds that take their
-  /// thread count from this config): 0 = std::thread::hardware_concurrency(),
-  /// 1 = serial. Every parallel path follows the deterministic-merge
-  /// discipline of util/thread_pool.hpp, so for a fixed `seed` the results
-  /// are bit-identical at any thread count.
+  /// Thread-pool fan-out for the parallel loops that take their thread count
+  /// from this config: independent boosting repetitions, oracle sampling,
+  /// simulator rounds, and the FrameworkDriver's per-structure H'/H'_s
+  /// discovery (the inner loop of every boost and of every Theorem 6.2
+  /// rebuild). 0 = std::thread::hardware_concurrency(), 1 = serial. Every
+  /// parallel path follows the deterministic-merge discipline of
+  /// util/thread_pool.hpp, so for a fixed `seed` the results are
+  /// bit-identical at any thread count.
   int threads = 0;
 
   /// --- derived quantities (Section 4) ---

@@ -1,5 +1,8 @@
 #include "core/framework.hpp"
 
+#include <algorithm>
+#include <span>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -13,8 +16,48 @@
 // entirely inapplicable answer on a non-empty graph as an out-of-contract
 // oracle and count it as a truncated loop, which withholds the Theorem B.4
 // certificate instead of issuing it falsely.
+//
+// Parallel discovery: building H'_s / H' scans every live structure's
+// vertices against the graph — the dominant per-iteration cost and pure
+// const reads on the forest (operations only happen after the oracle
+// answers). Discovery therefore fans out across cfg.threads pool workers
+// with one private candidate buffer per structure, and the buffers merge
+// serially in structure-id order, reproducing the serial loop's
+// first-encounter index assignment exactly. The derived graphs handed to the
+// oracle — and hence matchings, op counts, and truncation decisions — are
+// bit-identical at any thread count.
 
 namespace bmf {
+namespace {
+
+/// Private per-structure discovery buffer for one oracle iteration.
+struct StageCandidates {
+  int level = 0;
+  std::vector<std::pair<Vertex, Vertex>> arcs;  ///< (w, x) witness candidates
+};
+
+/// Per-structure buffer for Contract-and-Augment discovery: (w, x, sx) with
+/// x outer in the distinct live structure sx.
+struct AugmentCandidates {
+  std::vector<std::tuple<Vertex, Vertex, StructureId>> arcs;
+};
+
+/// Below these sizes the pool round-trip costs more than the scan; the
+/// parallel paths degrade to inline serial loops with identical output
+/// (merges are in canonical order either way; see gated_threads). Discovery
+/// gates on both the structure count (the fan-out width) and the edge count
+/// (an upper bound on one iteration's total scan work).
+constexpr std::int64_t kParallelDiscoveryMinStructures = 16;
+constexpr std::int64_t kParallelDiscoveryMinEdges = 2048;
+constexpr std::int64_t kParallelEdgeFilterMin = 2048;
+
+int discovery_thread_gate(std::int64_t structures, std::int64_t edges,
+                          int threads) {
+  return gated_threads(structures, kParallelDiscoveryMinStructures,
+                       gated_threads(edges, kParallelDiscoveryMinEdges, threads));
+}
+
+}  // namespace
 
 FrameworkDriver::FrameworkDriver(const Graph& g, MatchingOracle& oracle,
                                  const CoreConfig& cfg)
@@ -58,30 +101,48 @@ void FrameworkDriver::run_stage(StructureForest& forest, int stage) {
     OracleGraph h;
     std::vector<std::pair<std::int32_t, std::int32_t>> raw_edges;
 
-    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+    // Parallel discovery: each structure scans its working blossom's
+    // neighborhoods into a private slot (const reads only). Tiny forests run
+    // inline — the pool round-trip would cost more than the scan, and the
+    // merged output is the same either way.
+    const auto ns = static_cast<std::int64_t>(forest.num_structures());
+    const int discovery_threads =
+        discovery_thread_gate(ns, g_.num_edges(), cfg_.threads);
+    std::vector<StageCandidates> slots(static_cast<std::size_t>(ns));
+    parallel_for_threads(discovery_threads, ns, [&](std::int64_t s) {
+      const auto sid = static_cast<StructureId>(s);
       const StructureInfo& si = forest.structure(sid);
       if (si.removed || si.on_hold || si.extended || si.working == kNoBlossom)
-        continue;
+        return;
       const int level = forest.outer_level(si.working);
-      if (stage >= 0 && level != stage) continue;
-      std::int32_t li = -1;
+      if (stage >= 0 && level != stage) return;
+      StageCandidates& slot = slots[static_cast<std::size_t>(s)];
+      slot.level = level;
       for (Vertex w : forest.blossom_vertices(si.working)) {
         for (Vertex x : g_.neighbors(w)) {
           if (forest.is_removed(x) || m.mate(x) == kNoVertex) continue;
           if (m.mate(w) == x) continue;  // g must be unmatched
           if (!forest.is_unvisited(x) && !forest.is_inner(x)) continue;
           if (forest.label(x) <= level + 1) continue;
-          if (li < 0) {
-            li = static_cast<std::int32_t>(left_index.size());
-            left_index.emplace(sid, li);
-          }
-          const auto rit =
-              right_index.emplace(x, static_cast<std::int32_t>(right_index.size()))
-                  .first;
-          raw_edges.emplace_back(li, rit->second);
-          witness.emplace_back(w, x);
-          edge_level.push_back(level);
+          slot.arcs.emplace_back(w, x);
         }
+      }
+    });
+
+    // Serial merge in structure-id order: identical index assignment to the
+    // serial scan (left ids in sid order, right ids in first-encounter order).
+    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+      const StageCandidates& slot = slots[static_cast<std::size_t>(sid)];
+      if (slot.arcs.empty()) continue;
+      const auto li = static_cast<std::int32_t>(left_index.size());
+      left_index.emplace(sid, li);
+      for (const auto& [w, x] : slot.arcs) {
+        const auto rit =
+            right_index.emplace(x, static_cast<std::int32_t>(right_index.size()))
+                .first;
+        raw_edges.emplace_back(li, rit->second);
+        witness.emplace_back(w, x);
+        edge_level.push_back(slot.level);
       }
     }
     if (raw_edges.empty()) break;
@@ -179,24 +240,41 @@ void FrameworkDriver::run_augment_loop(StructureForest& forest) {
   for (;;) {
     std::unordered_map<StructureId, std::int32_t> index;
     std::unordered_map<std::int64_t, std::pair<Vertex, Vertex>> pair_witness;
-    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+
+    // Parallel discovery of inter-structure outer/outer arcs, one private
+    // slot per structure (const reads only); tiny forests run inline.
+    const auto ns = static_cast<std::int64_t>(forest.num_structures());
+    const int discovery_threads =
+        discovery_thread_gate(ns, g_.num_edges(), cfg_.threads);
+    std::vector<AugmentCandidates> slots(static_cast<std::size_t>(ns));
+    parallel_for_threads(discovery_threads, ns, [&](std::int64_t s) {
+      const auto sid = static_cast<StructureId>(s);
       const StructureInfo& si = forest.structure(sid);
-      if (si.removed) continue;
+      if (si.removed) return;
+      AugmentCandidates& slot = slots[static_cast<std::size_t>(s)];
       for (Vertex w : si.members) {
         if (!forest.is_outer(w)) continue;
         for (Vertex x : g_.neighbors(w)) {
           if (forest.is_removed(x)) continue;
           const StructureId sx = forest.structure_of(x);
           if (sx == kNoStructure || sx == sid || !forest.is_outer(x)) continue;
-          const auto ia = index.emplace(sid, static_cast<std::int32_t>(index.size()))
-                              .first->second;
-          const auto ib = index.emplace(sx, static_cast<std::int32_t>(index.size()))
-                              .first->second;
-          const std::int64_t key =
-              static_cast<std::int64_t>(std::min(ia, ib)) * (1LL << 31) +
-              std::max(ia, ib);
-          pair_witness.emplace(key, std::make_pair(w, x));
+          slot.arcs.emplace_back(w, x, sx);
         }
+      }
+    });
+
+    // Serial merge in structure-id order: index assignment and witness
+    // selection (first arc per structure pair wins) match the serial scan.
+    for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
+      for (const auto& [w, x, sx] : slots[static_cast<std::size_t>(sid)].arcs) {
+        const auto ia = index.emplace(sid, static_cast<std::int32_t>(index.size()))
+                            .first->second;
+        const auto ib = index.emplace(sx, static_cast<std::int32_t>(index.size()))
+                            .first->second;
+        const std::int64_t key =
+            static_cast<std::int64_t>(std::min(ia, ib)) * (1LL << 31) +
+            std::max(ia, ib);
+        pair_witness.emplace(key, std::make_pair(w, x));
       }
     }
     if (pair_witness.empty()) break;
@@ -248,11 +326,39 @@ Matching framework_initial_matching(const Graph& g, MatchingOracle& oracle,
                                     const CoreConfig& cfg) {
   Matching m(g.num_vertices());
   const auto bound = static_cast<std::int64_t>(2.0 * oracle.approx_factor()) + 1;
+  const std::span<const Edge> edges = g.edges();
+  // Chunked parallel filter of the free-free subgraph; chunk buffers merge in
+  // chunk order, so the edge sequence equals the serial scan for any chunk
+  // count (the chunk count itself never changes the output).
+  const int filter_threads = gated_threads(static_cast<std::int64_t>(edges.size()),
+                                           kParallelEdgeFilterMin, cfg.threads);
+  const std::int64_t nchunks =
+      ThreadPool::resolve_threads(filter_threads) > 1
+          ? static_cast<std::int64_t>(ThreadPool::resolve_threads(cfg.threads)) * 4
+          : 1;
   for (std::int64_t i = 0;; ++i) {
     OracleGraph h;
     h.n = g.num_vertices();
-    for (const Edge& e : g.edges())
-      if (m.is_free(e.u) && m.is_free(e.v)) h.edges.emplace_back(e.u, e.v);
+    if (nchunks > 1) {
+      std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> chunks(
+          static_cast<std::size_t>(nchunks));
+      const auto total = static_cast<std::int64_t>(edges.size());
+      parallel_for_threads(cfg.threads, nchunks, [&](std::int64_t c) {
+        const std::int64_t lo = total * c / nchunks;
+        const std::int64_t hi = total * (c + 1) / nchunks;
+        auto& out = chunks[static_cast<std::size_t>(c)];
+        for (std::int64_t e = lo; e < hi; ++e) {
+          const Edge& edge = edges[static_cast<std::size_t>(e)];
+          if (m.is_free(edge.u) && m.is_free(edge.v))
+            out.emplace_back(edge.u, edge.v);
+        }
+      });
+      for (const auto& chunk : chunks)
+        h.edges.insert(h.edges.end(), chunk.begin(), chunk.end());
+    } else {
+      for (const Edge& e : edges)
+        if (m.is_free(e.u) && m.is_free(e.v)) h.edges.emplace_back(e.u, e.v);
+    }
     if (h.edges.empty()) break;
     const OracleMatching found = oracle.find_matching(h);
     if (found.empty()) break;

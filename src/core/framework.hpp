@@ -13,6 +13,15 @@
 /// `boost_matching` is the Theorem 1.1 entry point: it computes a
 /// 4-approximate initial matching with O(c) oracle calls (Lemma 5.3) and then
 /// runs the phase engine with this driver.
+///
+/// The driver's derived-graph construction — the dominant per-iteration cost
+/// of both simulations — fans out across `cfg.threads` pool workers: every
+/// live structure scans its neighborhoods into a private candidate buffer
+/// (const reads only; operations are applied after the oracle answers), and
+/// buffers merge serially in structure-id order so the H' / H'_s handed to
+/// the oracle is bit-identical at any thread count. This is what makes the
+/// Theorem 6.2 rebuild inside the dynamic matcher parallel: its exhaustion
+/// sweeps run through this driver.
 
 #include <cstdint>
 #include <functional>

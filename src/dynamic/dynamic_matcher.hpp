@@ -28,8 +28,7 @@
 ///
 ///  1. the batch is cut into maximal *conflict-free prefixes*: runs of
 ///     updates with pairwise-disjoint endpoints, none of which deletes a
-///     currently matched edge (those repairs rescan whole neighborhoods and
-///     are applied through the serial path between prefixes);
+///     currently matched edge;
 ///  2. within a prefix, per-update decisions (does this update toggle the
 ///     edge? does this insertion match two free vertices?) read only the
 ///     update's own endpoints, which no other prefix member touches — so
@@ -45,6 +44,41 @@
 ///     matching commits and `WeakOracle::on_batch` maintenance run serially
 ///     in update order, then the rebuild (if armed) runs on a snapshot that
 ///     contains exactly the updates before the trigger point.
+///
+/// ## Parallel reservation rematch for heavy deletion runs
+///
+/// Deletions of currently matched edges ("heavy" updates) repair by
+/// rematching both freed endpoints with their minimum free neighbor — the
+/// flat sorted adjacency makes `try_match`'s first free neighbor exactly the
+/// minimum one. A run of consecutive heavy deletions with pairwise-disjoint
+/// endpoints no longer serializes: after a worst-case budget replay bounds
+/// the run so no rebuild can fire inside it (|M| drops by at most one per
+/// deletion and the budget is nondecreasing in |M|), the run's edges are
+/// deleted batch-parallel, and every freed endpoint concurrently *reserves*
+/// its ascending list of possibly-free neighbors — vertices free before the
+/// run plus endpoints freed by earlier deletions of the run (the only
+/// vertices that can be free when its turn comes). A barrier later, a serial
+/// commit walks the run in update order and rematches each endpoint with the
+/// first still-free reserved neighbor, which is precisely the sequential
+/// minimum-free-neighbor choice — mate arrays, counters, and rebuild
+/// positions stay bit-identical to the one-at-a-time loop (in the style of
+/// Birn et al. 2013's reservation matching and Ghaffari–Trygub 2024's
+/// deterministic batch commits).
+///
+/// ## Rebuild/update overlap
+///
+/// When a prefix arms a Theorem 6.2 rebuild, the rebuild runs on a dedicated
+/// thread against the immutable `DynGraph` snapshot and a copy of the
+/// matching, while the caller overlaps the *next* conflict-free window of
+/// insertions/no-ops: their structural resolution and adjacency mutations
+/// touch only the live graph, which the rebuild never reads. The window is
+/// bounded by the post-rebuild worst-case budget (boosting never shrinks the
+/// matching, so `rebuild_budget(|M| at arm time) - 1` updates are provably
+/// rebuild-free) and stops at the first deletion (whose heaviness depends on
+/// the rebuild's output). Matching decisions and `WeakOracle::on_batch`
+/// maintenance are deferred until the join, so the oracle is never touched
+/// while rebuild queries are in flight. Disable with
+/// `DynamicMatcherConfig::overlap_rebuild = false`.
 ///
 /// Every decision is made against deterministic state and merged in batch
 /// order, so results do not depend on thread scheduling; and because the flat
@@ -73,9 +107,14 @@ struct DynamicMatcherConfig {
   /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
   std::int64_t rebuild_every = 0;
   std::uint64_t seed = 1;
-  /// Thread-pool fan-out for `apply_batch` (0 = hardware concurrency,
-  /// 1 = serial). Results are bit-identical at any setting.
+  /// Thread-pool fan-out for `apply_batch` and for the Theorem 6.2 rebuild's
+  /// internal H'/H'_s discovery (forced into `sim.core.threads`; 0 = hardware
+  /// concurrency, 1 = serial). Results are bit-identical at any setting.
   int threads = 0;
+  /// Overlap an armed rebuild (dedicated thread, snapshot + matching copy)
+  /// with the next insertion-only window's graph mutations. Only active on
+  /// the batched path with threads > 1; bit-identical either way.
+  bool overlap_rebuild = true;
 };
 
 class DynamicMatcher {
@@ -119,9 +158,30 @@ class DynamicMatcher {
   /// Length of the maximal conflict-free prefix of `rest` (>= 1 unless empty).
   [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest);
 
-  /// Processes a conflict-free prefix; returns how many updates were
-  /// consumed (the prefix is truncated at the first rebuild trigger).
-  std::size_t apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
+  struct PrefixOutcome {
+    std::size_t consumed = 0;
+    bool fired = false;  ///< a rebuild is armed at the truncation point
+  };
+
+  /// Processes a conflict-free prefix; reports how many updates were
+  /// consumed (the prefix is truncated at the first rebuild trigger) and
+  /// whether the caller must now run a rebuild.
+  PrefixOutcome apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
+
+  /// Length of the maximal run of consecutive heavy deletions of `rest` with
+  /// pairwise-disjoint endpoints (rest[0] must be heavy); records each
+  /// endpoint's deletion index in `heavy_index_` under the current epoch.
+  [[nodiscard]] std::size_t heavy_run_length(std::span<const EdgeUpdate> rest);
+
+  /// Parallel reservation rematch over a heavy run (see the class comment);
+  /// returns how many deletions were consumed (the run is truncated to the
+  /// worst-case rebuild-free bound; 0 forces one serial `apply`).
+  std::size_t apply_heavy_run(std::span<const EdgeUpdate> run, int threads);
+
+  /// Runs the armed rebuild on a dedicated thread while overlapping the next
+  /// insertion-only window of `rest`; returns how many window updates were
+  /// consumed. Caller must have reset `since_rebuild_` / bumped `rebuilds_`.
+  std::size_t rebuild_overlapped(std::span<const EdgeUpdate> rest, int threads);
 
   DynGraph g_;
   WeakOracle& oracle_;
@@ -132,12 +192,14 @@ class DynamicMatcher {
   std::int64_t rebuilds_ = 0;
 
   // Reused apply_batch scratch: endpoint marks (epoch-stamped; 64-bit so the
-  // epoch cannot wrap within a process lifetime) and per-update decision
-  // slots.
+  // epoch cannot wrap within a process lifetime), per-update decision slots,
+  // and per-endpoint heavy-run deletion indices (valid where mark_ carries
+  // the current epoch).
   std::vector<std::uint64_t> mark_;
   std::uint64_t epoch_ = 0;
   std::vector<std::uint8_t> structural_;
   std::vector<std::uint8_t> match_;
+  std::vector<std::int32_t> heavy_index_;
 };
 
 /// Problem 1 (Section 7.2), verbatim: chunks of exactly alpha*n updates, then

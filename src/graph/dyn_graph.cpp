@@ -14,6 +14,15 @@ void require_valid(const EdgeUpdate& up, Vertex n) {
               "DynGraph: invalid edge update");
 }
 
+/// Batches below this size replay inline: the pool round-trip costs more
+/// than the work, and every parallel site here is output-invariant in the
+/// thread count (see gated_threads).
+constexpr std::int64_t kSmallBatchMin = 32;
+
+int effective_threads(std::size_t work, int threads) {
+  return gated_threads(static_cast<std::int64_t>(work), kSmallBatchMin, threads);
+}
+
 }  // namespace
 
 DynGraph::DynGraph(Vertex num_vertices)
@@ -91,7 +100,8 @@ std::vector<std::uint8_t> DynGraph::resolve_structural(
   group_begin.push_back(keyed.size());
 
   parallel_for_threads(
-      threads, static_cast<std::int64_t>(group_begin.size()) - 1,
+      effective_threads(group_begin.size() - 1, threads),
+      static_cast<std::int64_t>(group_begin.size()) - 1,
       [&](std::int64_t g) {
         const std::size_t begin = group_begin[static_cast<std::size_t>(g)];
         const std::size_t end = group_begin[static_cast<std::size_t>(g) + 1];
@@ -129,7 +139,8 @@ void for_each_incident_by_vertex(
   group_begin.push_back(ops.size());
 
   parallel_for_threads(
-      threads, static_cast<std::int64_t>(group_begin.size()) - 1,
+      effective_threads(group_begin.size() - 1, threads),
+      static_cast<std::int64_t>(group_begin.size()) - 1,
       [&](std::int64_t g) {
         const std::size_t begin = group_begin[static_cast<std::size_t>(g)];
         const std::size_t end = group_begin[static_cast<std::size_t>(g) + 1];
@@ -167,7 +178,8 @@ void DynGraph::apply_structural_disjoint(std::span<const EdgeUpdate> updates,
   std::int64_t delta = 0;
   for (std::size_t i = 0; i < updates.size(); ++i)
     if (structural[i]) delta += updates[i].insert ? 1 : -1;
-  parallel_for_threads(threads, static_cast<std::int64_t>(updates.size()),
+  parallel_for_threads(effective_threads(updates.size(), threads),
+                       static_cast<std::int64_t>(updates.size()),
                        [&](std::int64_t i) {
                          const auto k = static_cast<std::size_t>(i);
                          if (!structural[k]) return;

@@ -181,6 +181,19 @@ ThreadPool& ThreadPool::shared(int threads) {
   return *slot;
 }
 
+namespace {
+std::atomic<bool> g_force_parallel_small_work{false};
+}  // namespace
+
+int gated_threads(std::int64_t work, std::int64_t min_work, int threads) {
+  if (g_force_parallel_small_work.load(std::memory_order_relaxed)) return threads;
+  return work >= min_work ? threads : 1;
+}
+
+void force_parallel_small_work(bool force) {
+  g_force_parallel_small_work.store(force, std::memory_order_relaxed);
+}
+
 void parallel_for_threads(int threads, std::int64_t n,
                           const std::function<void(std::int64_t)>& fn) {
   if (n <= 0) return;

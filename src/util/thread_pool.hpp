@@ -87,6 +87,26 @@ class ThreadPool {
 void parallel_for_threads(int threads, std::int64_t n,
                           const std::function<void(std::int64_t)>& fn);
 
+/// Resolves the thread count for a work-size-gated parallel loop: `threads`
+/// when `work >= min_work`, else 1 (the pool round-trip would cost more than
+/// the work). Every caller's gate is output-invariant — the parallel path
+/// produces bit-identical results — so the gate is purely a performance
+/// decision. `force_parallel_small_work(true)` disables all gates process-wide
+/// so tests (and sanitizer jobs) can drive the parallel paths on tiny inputs.
+[[nodiscard]] int gated_threads(std::int64_t work, std::int64_t min_work,
+                                int threads);
+void force_parallel_small_work(bool force);
+
+/// RAII scope for force_parallel_small_work: the differential/determinism
+/// suites (and the TSan job running them) wrap their parallel runs in this so
+/// the size-gated paths genuinely fan out on test-sized inputs.
+struct ForceParallelSmallWork {
+  ForceParallelSmallWork() { force_parallel_small_work(true); }
+  ~ForceParallelSmallWork() { force_parallel_small_work(false); }
+  ForceParallelSmallWork(const ForceParallelSmallWork&) = delete;
+  ForceParallelSmallWork& operator=(const ForceParallelSmallWork&) = delete;
+};
+
 /// Deterministic parallel map-reduce: slot i = map(i), computed in parallel,
 /// then combined left-to-right in index order (safe for non-commutative
 /// combines). Bit-identical at any thread count.

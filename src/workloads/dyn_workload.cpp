@@ -21,6 +21,22 @@ Edge random_fresh_edge(Vertex n, const std::unordered_set<std::uint64_t>& live,
 
 }  // namespace
 
+std::vector<EdgeUpdate> dyn_planted_teardown(Vertex pairs, Vertex hubs, Rng& rng) {
+  BMF_REQUIRE(pairs >= 1 && hubs >= 1, "dyn_planted_teardown: bad parameters");
+  std::vector<EdgeUpdate> ups;
+  const Vertex hub_base = 2 * pairs;
+  for (Vertex i = 0; i < pairs; ++i) ups.push_back(EdgeUpdate::ins(2 * i, 2 * i + 1));
+  for (Vertex i = 0; i < pairs; ++i) {
+    ups.push_back(EdgeUpdate::ins(2 * i, hub_base + (i % hubs)));
+    ups.push_back(EdgeUpdate::ins(2 * i + 1, hub_base + ((i + 1) % hubs)));
+  }
+  std::vector<Vertex> order(static_cast<std::size_t>(pairs));
+  for (Vertex i = 0; i < pairs; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (const Vertex j : order) ups.push_back(EdgeUpdate::del(2 * j, 2 * j + 1));
+  return ups;
+}
+
 std::vector<EdgeUpdate> dyn_random_updates(Vertex n, std::int64_t count,
                                            double insert_prob, Rng& rng) {
   BMF_REQUIRE(n >= 2 && count >= 0, "dyn_random_updates: bad parameters");

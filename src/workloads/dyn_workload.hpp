@@ -38,6 +38,16 @@ namespace bmf {
                                                         std::int64_t count,
                                                         Rng& rng);
 
+/// Planted pairs (2i, 2i+1) built up by insertions, every pair endpoint also
+/// wired to a small shared hub set, then the planted matching torn down by
+/// deleting each pair edge once in shuffled order: the teardown is a maximal
+/// run of consecutive matched-edge deletions with pairwise-disjoint
+/// endpoints (a heavy reservation-rematch run, truncated only by rebuild
+/// triggers), and the hubs make freed endpoints compete for the same rematch
+/// candidates. Uses vertices [0, 2*pairs + hubs).
+[[nodiscard]] std::vector<EdgeUpdate> dyn_planted_teardown(Vertex pairs,
+                                                           Vertex hubs, Rng& rng);
+
 /// Cuts an update stream into consecutive batches of `batch_size` updates
 /// (the last batch may be shorter). Feeding the slices to
 /// `DynamicMatcher::apply_batch` in order replays the stream exactly.

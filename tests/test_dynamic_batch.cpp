@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/partial_dynamic.hpp"
 #include "dynamic/weak_oracle.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/dyn_workload.hpp"
 #include "workloads/gen.hpp"
 
@@ -49,6 +51,9 @@ RunResult run_sequential(Vertex n, const std::vector<EdgeUpdate>& ups, double ep
 
 RunResult run_batched(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
                       std::uint64_t seed, int threads, std::int64_t batch_size) {
+  // The size gates are perf-only; disable them so the batched paths fan out
+  // on test-sized inputs (this differential suite also runs under TSan).
+  const ForceParallelSmallWork force;
   MatrixWeakOracle oracle(n);
   DynamicMatcherConfig cfg;
   cfg.eps = eps;
@@ -99,6 +104,31 @@ TEST_P(BatchDifferential, ChurnPlanted) {
   expect_batched_equals_sequential(40, ups, 0.25, GetParam());
 }
 
+TEST_P(BatchDifferential, MatchedTeardownRounds) {
+  // Rounds of planted-pair build-up followed by consecutive deletion of every
+  // matched pair: the teardowns are maximal heavy runs with disjoint
+  // endpoints, driving the parallel reservation rematch (and its truncation
+  // at rebuild triggers) rather than the light-prefix path.
+  Rng rng(GetParam() + 500);
+  const Vertex pairs = 18;
+  std::vector<EdgeUpdate> ups;
+  std::vector<Vertex> order(static_cast<std::size_t>(pairs));
+  for (int round = 0; round < 3; ++round) {
+    for (Vertex i = 0; i < pairs; ++i)
+      ups.push_back(EdgeUpdate::ins(2 * i, 2 * i + 1));
+    // A few cross edges so freed endpoints have rematch candidates.
+    for (Vertex i = 0; i + 1 < pairs; i += 3)
+      ups.push_back(EdgeUpdate::ins(2 * i + 1, 2 * i + 2));
+    // Shuffled teardown of every planted pair, then the cross edges.
+    for (Vertex i = 0; i < pairs; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (const Vertex j : order) ups.push_back(EdgeUpdate::del(2 * j, 2 * j + 1));
+    for (Vertex i = 0; i + 1 < pairs; i += 3)
+      ups.push_back(EdgeUpdate::del(2 * i + 1, 2 * i + 2));
+  }
+  expect_batched_equals_sequential(2 * pairs, ups, 1.0, GetParam());
+}
+
 TEST_P(BatchDifferential, HotBurstBatches) {
   // Skewed batches maximize endpoint conflicts inside each batch, driving
   // the prefix-cutting pass rather than the embarrassingly-parallel path.
@@ -107,6 +137,7 @@ TEST_P(BatchDifferential, HotBurstBatches) {
   std::vector<EdgeUpdate> flat;
   for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
   const RunResult want = run_sequential(48, flat, 0.25, GetParam());
+  const ForceParallelSmallWork force;
   for (const int threads : {1, 2, 8}) {
     MatrixWeakOracle oracle(48);
     DynamicMatcherConfig cfg;
@@ -164,6 +195,7 @@ TEST(Problem1Batch, ChunkThreadCountEquivalence) {
 
   std::vector<Graph> snapshots;
   std::vector<std::vector<Edge>> answers;
+  const ForceParallelSmallWork force;
   for (const int threads : {1, 2, 8}) {
     MatrixWeakOracle oracle(n);
     Problem1Instance p1(n, oracle, /*q=*/2, /*lambda=*/0.5, /*delta=*/0.01,
@@ -188,6 +220,7 @@ TEST(Problem1Batch, ChunkThreadCountEquivalence) {
 
 TEST(PartialDynamicBatch, IncrementalBatchMatchesSerial) {
   Rng rng(5);
+  const ForceParallelSmallWork force;
   const Graph g = gen_random_graph(40, 140, rng);
   DynamicMatcherConfig cfg;
   cfg.eps = 0.25;
@@ -204,6 +237,7 @@ TEST(PartialDynamicBatch, IncrementalBatchMatchesSerial) {
 
 TEST(PartialDynamicBatch, DecrementalEraseBatchMatchesSerial) {
   Rng rng(6);
+  const ForceParallelSmallWork force;
   const Graph g = gen_random_graph(36, 120, rng);
   DynamicMatcherConfig cfg;
   cfg.eps = 0.25;
