@@ -1,0 +1,507 @@
+#include "dynamic/sharded_matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+
+// ---------------------------------------------------------- VertexPartition
+
+VertexPartition::VertexPartition(Vertex n, int shards)
+    : n_(n),
+      k_(shards),
+      block_(n == 0 ? 0 : (n + static_cast<Vertex>(shards) - 1) /
+                              static_cast<Vertex>(shards)) {
+  BMF_REQUIRE(n >= 0, "VertexPartition: negative vertex count");
+  BMF_REQUIRE(shards >= 1, "VertexPartition: shards must be >= 1");
+}
+
+// ------------------------------------------------------- ShardedMatrixOracle
+
+ShardedMatrixOracle::ShardedMatrixOracle(Vertex n, int shards, int threads)
+    : part_(n, shards), threads_(threads) {
+  slices_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s)
+    slices_.emplace_back(part_.size(s), n);
+}
+
+void ShardedMatrixOracle::on_insert(Vertex u, Vertex v) {
+  const int su = part_.owner(u), sv = part_.owner(v);
+  slices_[static_cast<std::size_t>(su)].set(u - part_.begin(su), v);
+  slices_[static_cast<std::size_t>(sv)].set(v - part_.begin(sv), u);
+}
+
+void ShardedMatrixOracle::on_erase(Vertex u, Vertex v) {
+  const int su = part_.owner(u), sv = part_.owner(v);
+  slices_[static_cast<std::size_t>(su)].set(u - part_.begin(su), v, false);
+  slices_[static_cast<std::size_t>(sv)].set(v - part_.begin(sv), u, false);
+}
+
+bool ShardedMatrixOracle::bit(Vertex u, Vertex v) const {
+  const int su = part_.owner(u);
+  return slices_[static_cast<std::size_t>(su)].get(u - part_.begin(su), v);
+}
+
+RoutedOps route_structural_ops(const VertexPartition& part,
+                               std::span<const EdgeUpdate> updates,
+                               std::span<const std::uint8_t> structural) {
+  BMF_REQUIRE(structural.size() == updates.size(),
+              "route_structural_ops: flag span size mismatch");
+  // Route both directed copies of every structural update to the shard that
+  // owns the row; appending while walking the batch in order leaves each
+  // shard's op list sorted by update index, so a per-shard serial replay is
+  // exactly the (shard-id, update-index)-ordered merge.
+  RoutedOps out;
+  out.per_shard.resize(static_cast<std::size_t>(part.shards()));
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!structural[i]) continue;
+    const EdgeUpdate& up = updates[i];
+    out.edge_delta += up.insert ? 1 : -1;
+    out.per_shard[static_cast<std::size_t>(part.owner(up.u))].push_back(
+        {up.u, up.v, up.insert});
+    out.per_shard[static_cast<std::size_t>(part.owner(up.v))].push_back(
+        {up.v, up.u, up.insert});
+    out.total_ops += 2;
+  }
+  return out;
+}
+
+void ShardedMatrixOracle::on_batch(std::span<const EdgeUpdate> updates,
+                                   std::span<const std::uint8_t> structural,
+                                   int threads) {
+  apply_ops(route_structural_ops(part_, updates, structural), threads);
+}
+
+void ShardedMatrixOracle::apply_ops(const RoutedOps& ops, int threads) {
+  parallel_for_threads(
+      gated_threads(ops.total_ops, 32, threads),
+      static_cast<std::int64_t>(ops.per_shard.size()), [&](std::int64_t s) {
+        BitMatrix& slice = slices_[static_cast<std::size_t>(s)];
+        const Vertex base = part_.begin(static_cast<int>(s));
+        for (const ShardOp& op : ops.per_shard[static_cast<std::size_t>(s)])
+          slice.set(op.vertex - base, op.other, op.insert);
+      });
+}
+
+std::int64_t ShardedMatrixOracle::probe(Vertex u, const BitVec& mask,
+                                        std::int64_t* words) const {
+  const int s = part_.owner(u);
+  std::int64_t scanned = 0;
+  const std::int64_t col = slices_[static_cast<std::size_t>(s)].first_common_in_row(
+      u - part_.begin(s), mask, &scanned);
+  *words += scanned;
+  return col;
+}
+
+WeakQueryResult ShardedMatrixOracle::greedy(std::span<const Vertex> rows,
+                                            BitVec& avail, bool consume_plus,
+                                            double delta) {
+  const auto count = static_cast<std::int64_t>(rows.size());
+  // Speculative shard-local candidate scan against the pre-commit mask:
+  // every row probes concurrently, results land in per-row slots.
+  std::vector<std::int64_t> cand(rows.size(), -1), words(rows.size(), 0);
+  parallel_for_threads(gated_threads(count, 16, threads_), count,
+                       [&](std::int64_t i) {
+                         const auto k = static_cast<std::size_t>(i);
+                         cand[k] = probe(rows[k], avail, &words[k]);
+                       });
+  for (const std::int64_t w : words) words_touched_ += w;
+
+  // Serial greedy commit in row order. The mask only shrinks, so a
+  // speculative candidate that is still available equals the live mask's
+  // first common neighbor (its scan prefix is unchanged); a stale candidate
+  // re-probes inline, which is verbatim the serial greedy's probe at this
+  // row's turn. A -1 stays -1 against any smaller mask.
+  WeakQueryResult out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Vertex u = rows[i];
+    if (consume_plus && !avail.get(u)) continue;
+    std::int64_t c = cand[i];
+    if (c >= 0 && !avail.get(c)) c = probe(u, avail, &words_touched_);
+    if (c < 0) continue;
+    out.matching.push_back({u, static_cast<Vertex>(c)});
+    if (consume_plus) avail.set(u, false);
+    avail.set(c, false);
+  }
+  const double threshold =
+      lambda() * delta * static_cast<double>(part_.num_vertices());
+  out.bottom = static_cast<double>(out.matching.size()) < threshold;
+  return out;
+}
+
+WeakQueryResult ShardedMatrixOracle::query_impl(std::span<const Vertex> s,
+                                                double delta) {
+  BitVec avail(part_.num_vertices());
+  for (Vertex v : s) avail.set(v);
+  // The adjacency diagonal is never set, so a probe cannot return its own
+  // row even when that row is in the mask.
+  return greedy(s, avail, /*consume_plus=*/true, delta);
+}
+
+WeakQueryResult ShardedMatrixOracle::query_cover_impl(
+    std::span<const Vertex> s_plus, std::span<const Vertex> s_minus,
+    double delta) {
+  BitVec avail(part_.num_vertices());
+  for (Vertex v : s_minus) avail.set(v);
+  return greedy(s_plus, avail, /*consume_plus=*/false, delta);
+}
+
+// ----------------------------------------------------- ShardedDynamicMatcher
+
+ShardedDynamicMatcher::ShardedDynamicMatcher(Vertex n,
+                                             const ShardedMatcherConfig& cfg)
+    : part_(n, cfg.shards),
+      slices_(static_cast<std::size_t>(cfg.shards)),
+      oracle_(n, cfg.shards, cfg.threads),
+      cfg_(cfg),
+      m_(n),
+      mark_(static_cast<std::size_t>(n), 0) {
+  BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "ShardedDynamicMatcher: eps out of range");
+  BMF_REQUIRE(cfg.shards >= 1, "ShardedDynamicMatcher: shards must be >= 1");
+  for (int s = 0; s < cfg.shards; ++s)
+    slices_[static_cast<std::size_t>(s)].resize(
+        static_cast<std::size_t>(part_.size(s)));
+  // Same forcing as DynamicMatcher: the rebuild engine runs at eps/2 on the
+  // shared threads knob, so rebuild trajectories line up bit for bit.
+  cfg_.sim.core.eps = cfg.eps / 2.0;
+  cfg_.sim.core.seed = cfg.seed;
+  cfg_.sim.core.threads = cfg.threads;
+}
+
+std::vector<Vertex>& ShardedDynamicMatcher::row(Vertex v) {
+  const int s = part_.owner(v);
+  return slices_[static_cast<std::size_t>(s)]
+                [static_cast<std::size_t>(v - part_.begin(s))];
+}
+
+const std::vector<Vertex>& ShardedDynamicMatcher::row(Vertex v) const {
+  const int s = part_.owner(v);
+  return slices_[static_cast<std::size_t>(s)]
+                [static_cast<std::size_t>(v - part_.begin(s))];
+}
+
+void ShardedDynamicMatcher::link(Vertex u, Vertex v) {
+  auto& a = row(u);
+  a.insert(std::lower_bound(a.begin(), a.end(), v), v);
+}
+
+void ShardedDynamicMatcher::unlink(Vertex u, Vertex v) {
+  auto& a = row(u);
+  const auto it = std::lower_bound(a.begin(), a.end(), v);
+  BMF_ASSERT(it != a.end() && *it == v);
+  a.erase(it);
+}
+
+bool ShardedDynamicMatcher::has_edge(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= part_.num_vertices() || v >= part_.num_vertices() ||
+      u == v)
+    return false;
+  const auto& a = row(u);
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+std::span<const Vertex> ShardedDynamicMatcher::neighbors(Vertex v) const {
+  return row(v);
+}
+
+Graph ShardedDynamicMatcher::snapshot() const {
+  GraphBuilder b(part_.num_vertices());
+  for (Vertex u = 0; u < part_.num_vertices(); ++u)
+    for (Vertex v : row(u))
+      if (u < v) b.add_edge(u, v);
+  return b.build();
+}
+
+void ShardedDynamicMatcher::apply_graph_ops(const RoutedOps& ops, int threads) {
+  // Each shard replays the directed copies it owns in update order; shards
+  // own disjoint row sets, so the concurrent replay is race-free and equals
+  // the serial one.
+  parallel_for_threads(
+      gated_threads(ops.total_ops, 32, threads),
+      static_cast<std::int64_t>(ops.per_shard.size()), [&](std::int64_t s) {
+        for (const ShardOp& op : ops.per_shard[static_cast<std::size_t>(s)]) {
+          if (op.insert)
+            link(op.vertex, op.other);
+          else
+            unlink(op.vertex, op.other);
+        }
+      });
+  m_edges_ += ops.edge_delta;
+}
+
+void ShardedDynamicMatcher::try_match(Vertex v) {
+  if (!m_.is_free(v)) return;
+  for (Vertex w : row(v)) {
+    if (m_.is_free(w)) {
+      m_.add(v, w);
+      return;
+    }
+  }
+}
+
+void ShardedDynamicMatcher::on_structural_change(Vertex u, Vertex v,
+                                                 bool inserted) {
+  if (inserted) {
+    if (m_.is_free(u) && m_.is_free(v)) m_.add(u, v);
+  } else if (m_.has(u, v)) {
+    m_.remove_at(u);
+    try_match(u);
+    try_match(v);
+  }
+}
+
+void ShardedDynamicMatcher::insert(Vertex u, Vertex v) {
+  apply(EdgeUpdate::ins(u, v));
+}
+
+void ShardedDynamicMatcher::erase(Vertex u, Vertex v) {
+  apply(EdgeUpdate::del(u, v));
+}
+
+void ShardedDynamicMatcher::apply(const EdgeUpdate& update) {
+  ++updates_;
+  ++since_rebuild_;
+  if (!update.empty()) {
+    const Vertex n = part_.num_vertices();
+    BMF_REQUIRE(update.u >= 0 && update.u < n && update.v >= 0 && update.v < n &&
+                    update.u != update.v,
+                "ShardedDynamicMatcher: invalid edge update");
+    if (update.insert) {
+      if (!has_edge(update.u, update.v)) {
+        link(update.u, update.v);
+        link(update.v, update.u);
+        ++m_edges_;
+        oracle_.on_insert(update.u, update.v);
+        on_structural_change(update.u, update.v, true);
+      }
+    } else {
+      if (has_edge(update.u, update.v)) {
+        unlink(update.u, update.v);
+        unlink(update.v, update.u);
+        --m_edges_;
+        oracle_.on_erase(update.u, update.v);
+        on_structural_change(update.u, update.v, false);
+      }
+    }
+  }
+  maybe_rebuild();
+}
+
+bool ShardedDynamicMatcher::is_heavy(const EdgeUpdate& up) const {
+  return !up.empty() && !up.insert && m_.has(up.u, up.v);
+}
+
+std::size_t ShardedDynamicMatcher::light_prefix_length(
+    std::span<const EdgeUpdate> rest) {
+  ++epoch_;
+  std::size_t j = 0;
+  for (; j < rest.size(); ++j) {
+    const EdgeUpdate& c = rest[j];
+    if (c.empty()) continue;
+    auto& mu = mark_[static_cast<std::size_t>(c.u)];
+    auto& mv = mark_[static_cast<std::size_t>(c.v)];
+    if (mu == epoch_ || mv == epoch_) break;
+    if (is_heavy(c)) break;
+    mu = epoch_;
+    mv = epoch_;
+  }
+  return j;
+}
+
+std::size_t ShardedDynamicMatcher::heavy_run_length(
+    std::span<const EdgeUpdate> rest) {
+  if (heavy_index_.empty()) heavy_index_.assign(mark_.size(), 0);
+  ++epoch_;
+  std::size_t j = 0;
+  for (; j < rest.size(); ++j) {
+    const EdgeUpdate& c = rest[j];
+    if (c.empty() || c.insert) break;
+    auto& mu = mark_[static_cast<std::size_t>(c.u)];
+    auto& mv = mark_[static_cast<std::size_t>(c.v)];
+    if (mu == epoch_ || mv == epoch_) break;
+    if (!m_.has(c.u, c.v)) break;
+    mu = epoch_;
+    mv = epoch_;
+    heavy_index_[static_cast<std::size_t>(c.u)] = static_cast<std::int32_t>(j);
+    heavy_index_[static_cast<std::size_t>(c.v)] = static_cast<std::int32_t>(j);
+  }
+  return j;
+}
+
+std::size_t ShardedDynamicMatcher::apply_heavy_run(std::span<const EdgeUpdate> run,
+                                                   int threads) {
+  // Worst-case budget replay (see DynamicMatcher::apply_heavy_run): truncate
+  // the run so no rebuild can fire inside it for any rematch outcome.
+  const std::int64_t sz0 = m_.size();
+  std::int64_t safe = 0;
+  while (safe < static_cast<std::int64_t>(run.size()) &&
+         since_rebuild_ + safe + 1 < rebuild_budget(sz0 - (safe + 1)))
+    ++safe;
+  if (safe == 0) {
+    apply(run[0]);
+    return 1;
+  }
+  run = run.first(static_cast<std::size_t>(safe));
+
+  structural_.assign(run.size(), 1);
+  const std::span<const std::uint8_t> flags(structural_.data(), run.size());
+  const RoutedOps ops = route_structural_ops(part_, run, flags);
+  apply_graph_ops(ops, threads);
+  oracle_.apply_ops(ops, threads);
+
+  // Reservation scan (parallel, read-only over shard rows): endpoint 2i/2i+1
+  // collects the ascending list of neighbors that can possibly be free at
+  // its commit turn — free before the run, or freed by an earlier deletion.
+  std::vector<std::vector<Vertex>> cand(2 * run.size());
+  const int scan_threads =
+      gated_threads(static_cast<std::int64_t>(run.size()), 8, threads);
+  parallel_for_threads(
+      scan_threads, static_cast<std::int64_t>(2 * run.size()), [&](std::int64_t k) {
+        const auto i = static_cast<std::size_t>(k / 2);
+        const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
+        auto& out = cand[static_cast<std::size_t>(k)];
+        for (Vertex nb : row(x)) {
+          const auto nbi = static_cast<std::size_t>(nb);
+          if (m_.is_free(nb) ||
+              (mark_[nbi] == epoch_ &&
+               heavy_index_[nbi] < static_cast<std::int32_t>(i)))
+            out.push_back(nb);
+        }
+      });
+
+  // Serial coordinator commit in update order: the sequential
+  // minimum-free-neighbor repair, endpoint for endpoint.
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    m_.remove_at(run[i].u);
+    for (const std::size_t k : {2 * i, 2 * i + 1}) {
+      const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
+      if (!m_.is_free(x)) continue;
+      for (Vertex nb : cand[k]) {
+        if (m_.is_free(nb)) {
+          m_.add(x, nb);
+          break;
+        }
+      }
+    }
+    ++updates_;
+    ++since_rebuild_;
+  }
+  BMF_ASSERT(since_rebuild_ < rebuild_budget(m_.size()));
+  return run.size();
+}
+
+ShardedDynamicMatcher::PrefixOutcome ShardedDynamicMatcher::apply_light_prefix(
+    std::span<const EdgeUpdate> prefix, int threads) {
+  const auto len = static_cast<std::int64_t>(prefix.size());
+  structural_.assign(prefix.size(), 0);
+  match_.assign(prefix.size(), 0);
+
+  // Per-update decisions read only the update's own endpoints (disjoint
+  // inside a prefix), so concurrent evaluation against the pre-prefix state
+  // equals the sequential decisions exactly.
+  const int decision_threads = gated_threads(len, 32, threads);
+  parallel_for_threads(decision_threads, len, [&](std::int64_t i) {
+    const auto k = static_cast<std::size_t>(i);
+    const EdgeUpdate& up = prefix[k];
+    if (up.empty()) return;
+    if (up.insert) {
+      if (!has_edge(up.u, up.v)) {
+        structural_[k] = 1;
+        if (m_.is_free(up.u) && m_.is_free(up.v)) match_[k] = 1;
+      }
+    } else {
+      if (has_edge(up.u, up.v)) structural_[k] = 1;
+    }
+  });
+
+  // Global rebuild-budget replay: truncate at the first position where the
+  // sequential maybe_rebuild() would fire.
+  std::size_t cut = prefix.size();
+  bool fire = false;
+  {
+    std::int64_t sz = m_.size();
+    std::int64_t since = since_rebuild_;
+    for (std::size_t k = 0; k < prefix.size(); ++k) {
+      ++since;
+      if (match_[k]) ++sz;
+      if (since >= rebuild_budget(sz)) {
+        cut = k + 1;
+        fire = true;
+        break;
+      }
+    }
+  }
+
+  const auto committed = prefix.first(cut);
+  const auto flags = std::span<const std::uint8_t>(structural_).first(cut);
+  const RoutedOps ops = route_structural_ops(part_, committed, flags);
+  apply_graph_ops(ops, threads);
+  oracle_.apply_ops(ops, threads);
+  for (std::size_t k = 0; k < cut; ++k) {
+    ++updates_;
+    ++since_rebuild_;
+    if (match_[k]) m_.add(prefix[k].u, prefix[k].v);
+  }
+  return {cut, fire};
+}
+
+void ShardedDynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
+  const Vertex n = part_.num_vertices();
+  for (const EdgeUpdate& up : batch)
+    BMF_REQUIRE(up.empty() || (up.u >= 0 && up.u < n && up.v >= 0 && up.v < n &&
+                               up.u != up.v),
+                "ShardedDynamicMatcher::apply_batch: invalid update");
+  const int threads = ThreadPool::resolve_threads(cfg_.threads);
+  if (threads <= 1 && cfg_.shards <= 1) {
+    // Unsharded and serial: the one-at-a-time loop is the reference
+    // semantics, and the routing machinery buys nothing.
+    for (const EdgeUpdate& up : batch) apply(up);
+    return;
+  }
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (is_heavy(batch[i])) {
+      const std::size_t run = heavy_run_length(batch.subspan(i));
+      if (run >= 2) {
+        i += apply_heavy_run(batch.subspan(i, run), threads);
+      } else {
+        apply(batch[i]);
+        ++i;
+      }
+      continue;
+    }
+    const std::size_t len = light_prefix_length(batch.subspan(i));
+    const PrefixOutcome got = apply_light_prefix(batch.subspan(i, len), threads);
+    i += got.consumed;
+    if (got.fired) {
+      since_rebuild_ = 0;
+      ++rebuilds_;
+      rebuild();
+    }
+  }
+}
+
+void ShardedDynamicMatcher::rebuild() {
+  const Graph snap = snapshot();
+  WeakBoostResult boosted = static_weak_boost(snap, m_, oracle_, cfg_.sim);
+  m_ = std::move(boosted.matching);
+}
+
+std::int64_t ShardedDynamicMatcher::rebuild_budget(std::int64_t sz) const {
+  if (cfg_.rebuild_every > 0) return cfg_.rebuild_every;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::floor(cfg_.eps * static_cast<double>(sz) / 4.0)));
+}
+
+void ShardedDynamicMatcher::maybe_rebuild() {
+  if (since_rebuild_ < rebuild_budget(m_.size())) return;
+  since_rebuild_ = 0;
+  ++rebuilds_;
+  rebuild();
+}
+
+}  // namespace bmf

@@ -1,0 +1,267 @@
+#pragma once
+
+/// Sharded vertex-partition dynamic matching engine.
+///
+/// The distributed vertex-partition regime (Robinson & Zhu 2025 applied to
+/// Section 7 of the paper; batches as the unit of sharding following
+/// Ghaffari & Trygub 2024): the vertex set is partitioned into `k`
+/// contiguous shards, and each shard *owns* the per-vertex state of its
+/// range —
+///
+///  * its slice of the flat sorted adjacency (the rows of the owned
+///    vertices; an edge {u, v} materializes as two directed copies, one in
+///    owner(u)'s slice and one in owner(v)'s), and
+///  * the corresponding row range of the A_weak adjacency bit-matrix
+///    (ShardedMatrixOracle below).
+///
+/// `apply_batch` routes each update's directed copies to their owning
+/// shards — the same resolution discipline as `Problem1Instance::apply_chunk`
+/// (whole chunks resolve with no prefix cuts, so chunks shard cleanly along
+/// their existing boundaries); shards apply local adjacency and bit-row
+/// mutations in parallel, replaying their local op streams in
+/// (shard-id, update-index) order, while **all matching commits run through
+/// the serial coordinator in update order** and the Theorem 6.2 rebuild
+/// budget is replayed globally. The result is the batch determinism contract
+/// of `DynamicMatcher` extended by a shards axis:
+///
+///   ShardedDynamicMatcher is **bit-identical to DynamicMatcher** —
+///   matchings (mate by mate), graph, rebuild counts *and positions*, and
+///   A_weak call counts — at every (shards x threads) combination,
+///   including shards = 1 and threads = 1.
+///
+/// That holds because every ingredient reproduces the sequential decision
+/// sequence exactly: shard slices store neighbors ascending (so neighbor
+/// scans and `snapshot()` equal DynGraph's), prefixes/heavy runs are cut by
+/// the same rules as DynamicMatcher, and the sharded oracle answers queries
+/// bit-identically to MatrixWeakOracle (below).
+///
+/// ## Sharded masked row probes (the A_weak serial fraction)
+///
+/// `MatrixWeakOracle::query_impl` is a serial greedy over S: probe row u
+/// against the availability mask, commit, shrink the mask. PR 3 exposed that
+/// loop as a visible serial fraction of rebuild time. ShardedMatrixOracle
+/// parallelizes it with a speculative scan + serial commit:
+///
+///  1. every row of S is probed concurrently (shard-local rows, grouped by
+///     owning shard) against the *pre-query* availability mask;
+///  2. a serial greedy commit walks S in order: a vertex already consumed is
+///     skipped, a speculative candidate that is still available commits, a
+///     stale candidate (consumed by an earlier commit) re-probes inline
+///     against the live mask.
+///
+/// Availability only shrinks, so a still-available speculative candidate is
+/// provably the live mask's first common neighbor too (min over a superset
+/// that still contains it) — the commit sequence equals the serial greedy's
+/// choice for choice, and answers are bit-identical to MatrixWeakOracle at
+/// any shard/thread count. `words_touched()` charges the words the probes
+/// actually scan (speculative, inline, and wasted scans alike), so it is
+/// deterministic for a given engine but — unlike matchings and call counts —
+/// legitimately differs from the serial oracle's count, which never probes
+/// speculatively.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamic/static_weak.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "graph/bit_matrix.hpp"
+#include "graph/dyn_graph.hpp"
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+/// Contiguous vertex partition into k shards: shard s owns
+/// [s * block, min(n, (s+1) * block)) with block = ceil(n / k). The last
+/// shard absorbs the remainder, so every vertex has exactly one owner.
+class VertexPartition {
+ public:
+  VertexPartition(Vertex n, int shards);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] int shards() const { return k_; }
+  [[nodiscard]] int owner(Vertex v) const {
+    return block_ == 0 ? 0
+                       : static_cast<int>(
+                             std::min<Vertex>(v / block_, static_cast<Vertex>(k_ - 1)));
+  }
+  [[nodiscard]] Vertex begin(int shard) const {
+    return std::min<Vertex>(n_, static_cast<Vertex>(shard) * block_);
+  }
+  [[nodiscard]] Vertex end(int shard) const {
+    return shard == k_ - 1 ? n_
+                           : std::min<Vertex>(n_, static_cast<Vertex>(shard + 1) *
+                                                      block_);
+  }
+  [[nodiscard]] Vertex size(int shard) const { return end(shard) - begin(shard); }
+
+ private:
+  Vertex n_;
+  int k_;
+  Vertex block_;
+};
+
+/// One directed copy of a structural update, owned by the shard holding
+/// `vertex`'s row.
+struct ShardOp {
+  Vertex vertex, other;
+  bool insert;
+};
+
+/// A batch's structural subset routed to its owning shards: per-shard
+/// directed op lists, each in update order (so a per-shard serial replay is
+/// the (shard-id, update-index)-ordered merge), plus the net edge delta.
+/// Routing once serves both the adjacency slices and the oracle row ranges.
+struct RoutedOps {
+  std::vector<std::vector<ShardOp>> per_shard;
+  std::int64_t edge_delta = 0;
+  std::int64_t total_ops = 0;
+};
+
+[[nodiscard]] RoutedOps route_structural_ops(
+    const VertexPartition& part, std::span<const EdgeUpdate> updates,
+    std::span<const std::uint8_t> structural);
+
+/// A_weak over shard-owned bit-matrix row ranges; answers bit-identical to
+/// MatrixWeakOracle (see the file comment for the speculative-probe scheme).
+class ShardedMatrixOracle final : public WeakOracle {
+ public:
+  ShardedMatrixOracle(Vertex n, int shards, int threads);
+
+  [[nodiscard]] double lambda() const override { return 0.5; }
+  void on_insert(Vertex u, Vertex v) override;
+  void on_erase(Vertex u, Vertex v) override;
+  /// Shard-parallel maintenance: each shard replays the directed copies it
+  /// owns serially in batch order; shards own disjoint row ranges, so the
+  /// final matrix state equals the serial replay at any thread count.
+  void on_batch(std::span<const EdgeUpdate> updates,
+                std::span<const std::uint8_t> structural, int threads) override;
+  /// on_batch on pre-routed ops (lets callers route a batch once and feed
+  /// both the graph slices and the oracle).
+  void apply_ops(const RoutedOps& ops, int threads);
+
+  [[nodiscard]] Vertex num_vertices() const { return part_.num_vertices(); }
+  [[nodiscard]] const VertexPartition& partition() const { return part_; }
+  [[nodiscard]] bool bit(Vertex u, Vertex v) const;
+
+  /// Words of row data scanned by probes (speculative + inline re-probes) —
+  /// exact, monotone, and thread-count invariant for a fixed shard count.
+  [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
+
+ protected:
+  WeakQueryResult query_impl(std::span<const Vertex> s, double delta) override;
+  WeakQueryResult query_cover_impl(std::span<const Vertex> s_plus,
+                                   std::span<const Vertex> s_minus,
+                                   double delta) override;
+
+ private:
+  /// first_common_in_row of u's owned row against mask; adds the words
+  /// scanned to *words.
+  [[nodiscard]] std::int64_t probe(Vertex u, const BitVec& mask,
+                                   std::int64_t* words) const;
+  /// The shared speculative-scan + serial-greedy-commit engine behind both
+  /// query flavors; `consume_plus` distinguishes G[S] greedy (both endpoints
+  /// leave the mask, consumed rows skip) from cover greedy (only the minus
+  /// copy leaves the mask, every plus row probes).
+  WeakQueryResult greedy(std::span<const Vertex> rows, BitVec& avail,
+                         bool consume_plus, double delta);
+
+  VertexPartition part_;
+  std::vector<BitMatrix> slices_;  ///< shard s: size(s) x n rows
+  int threads_;
+  std::int64_t words_touched_ = 0;
+};
+
+struct ShardedMatcherConfig {
+  double eps = 0.25;
+  WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps forced to eps/2)
+  /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
+  std::int64_t rebuild_every = 0;
+  std::uint64_t seed = 1;
+  /// Thread fan-out for shard-parallel application, probe scans, and the
+  /// rebuild's internal discovery. 0 = hardware concurrency, 1 = serial.
+  int threads = 0;
+  /// Vertex shards (>= 1). Results are bit-identical at any setting.
+  int shards = 1;
+};
+
+class ShardedDynamicMatcher {
+ public:
+  ShardedDynamicMatcher(Vertex n, const ShardedMatcherConfig& cfg);
+
+  void insert(Vertex u, Vertex v);
+  void erase(Vertex u, Vertex v);
+  void apply(const EdgeUpdate& update);
+
+  /// Applies a whole batch; bit-identical to calling `apply` per element in
+  /// order — and to `DynamicMatcher::apply_batch` on the same stream — at
+  /// any (shards x threads). The whole batch is validated before mutation.
+  void apply_batch(std::span<const EdgeUpdate> batch);
+
+  [[nodiscard]] const Matching& matching() const { return m_; }
+  [[nodiscard]] const VertexPartition& partition() const { return part_; }
+  [[nodiscard]] const ShardedMatrixOracle& oracle() const { return oracle_; }
+
+  [[nodiscard]] Vertex num_vertices() const { return part_.num_vertices(); }
+  [[nodiscard]] std::int64_t num_edges() const { return m_edges_; }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  /// Neighbors of v ascending, read from the owning shard's slice —
+  /// identical to DynGraph::neighbors on the same update stream.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const;
+  /// Assembled across shards in vertex order; equals DynGraph::snapshot().
+  [[nodiscard]] Graph snapshot() const;
+
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
+
+ private:
+  // --- shard-owned adjacency slices ---
+  [[nodiscard]] std::vector<Vertex>& row(Vertex v);
+  [[nodiscard]] const std::vector<Vertex>& row(Vertex v) const;
+  void link(Vertex u, Vertex v);    // directed copy into owner(u)'s slice
+  void unlink(Vertex u, Vertex v);  // directed copy out of owner(u)'s slice
+
+  /// Applies pre-routed ops to the adjacency slices shard-parallel (each
+  /// shard replays its list in update order) and updates m_edges_.
+  void apply_graph_ops(const RoutedOps& ops, int threads);
+
+  // --- the DynamicMatcher decision machinery, verbatim semantics ---
+  void on_structural_change(Vertex u, Vertex v, bool inserted);
+  void try_match(Vertex v);
+  void maybe_rebuild();
+  void rebuild();
+  [[nodiscard]] std::int64_t rebuild_budget(std::int64_t sz) const;
+  [[nodiscard]] bool is_heavy(const EdgeUpdate& up) const;
+  [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest);
+  [[nodiscard]] std::size_t heavy_run_length(std::span<const EdgeUpdate> rest);
+  std::size_t apply_heavy_run(std::span<const EdgeUpdate> run, int threads);
+
+  struct PrefixOutcome {
+    std::size_t consumed = 0;
+    bool fired = false;
+  };
+  PrefixOutcome apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
+
+  VertexPartition part_;
+  /// shard -> local row -> sorted neighbors (the shard's adjacency slice).
+  std::vector<std::vector<std::vector<Vertex>>> slices_;
+  std::int64_t m_edges_ = 0;
+  ShardedMatrixOracle oracle_;
+  ShardedMatcherConfig cfg_;
+  Matching m_;
+  std::int64_t updates_ = 0;
+  std::int64_t since_rebuild_ = 0;
+  std::int64_t rebuilds_ = 0;
+
+  // apply_batch scratch (same epoch-stamped discipline as DynamicMatcher).
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint8_t> structural_;
+  std::vector<std::uint8_t> match_;
+  std::vector<std::int32_t> heavy_index_;
+};
+
+}  // namespace bmf

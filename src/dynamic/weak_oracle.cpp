@@ -47,8 +47,11 @@ WeakQueryResult MatrixWeakOracle::query_impl(std::span<const Vertex> s,
   for (Vertex u : s) {
     if (!avail.get(u)) continue;
     // The adjacency diagonal is never set, so the probe cannot return u.
-    const std::int64_t v = adj_.first_common_in_row(u, avail);
-    words_touched_ += (n_ + 63) / 64;
+    // Charge exactly the words the early-exiting probe read, not the full
+    // row — the row scan stops at the first set word.
+    std::int64_t scanned = 0;
+    const std::int64_t v = adj_.first_common_in_row(u, avail, &scanned);
+    words_touched_ += scanned;
     if (v >= 0) {
       out.matching.push_back({u, static_cast<Vertex>(v)});
       avail.set(u, false);
@@ -69,9 +72,11 @@ WeakQueryResult MatrixWeakOracle::query_cover_impl(
   for (Vertex u : s_plus) {
     // u+ may match v- even when u also appears in s_minus (distinct copies);
     // the B-edge (u+, u-) never exists because G has no self-loops, so the
-    // masked row probe cannot return u itself.
-    const std::int64_t v = adj_.first_common_in_row(u, avail);
-    words_touched_ += (n_ + 63) / 64;
+    // masked row probe cannot return u itself. Charge the words actually
+    // scanned (the probe early-exits at the first set word).
+    std::int64_t scanned = 0;
+    const std::int64_t v = adj_.first_common_in_row(u, avail, &scanned);
+    words_touched_ += scanned;
     if (v >= 0) {
       out.matching.push_back({u, static_cast<Vertex>(v)});
       avail.set(v, false);

@@ -101,6 +101,9 @@ class MatrixWeakOracle final : public WeakOracle {
   [[nodiscard]] const BitMatrix& adjacency() const { return adj_; }
 
   /// Words of matrix data touched by queries so far (the time proxy).
+  /// Exact: every masked row probe charges the 64-bit words it actually read
+  /// (the scan early-exits at the first set word), so this equals the words
+  /// scanned, not a per-probe worst-case bound.
   [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
 
  protected:

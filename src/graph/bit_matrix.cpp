@@ -73,37 +73,49 @@ bool BitMatrix::get(std::int64_t r, std::int64_t c) const {
   return (words_[idx(r, c >> 6)] >> (c & 63)) & 1ULL;
 }
 
-void BitMatrix::multiply(const BitVec& v, BitVec& out) const {
+void BitMatrix::multiply(const BitVec& v, BitVec& out,
+                         std::int64_t* words_scanned) const {
   BMF_REQUIRE(v.size() == cols_, "BitMatrix::multiply: vector size mismatch");
   BMF_REQUIRE(out.size() == rows_, "BitMatrix::multiply: output size mismatch");
   out.clear();
   // Each iteration of the outer loop owns one full 64-bit word of `out`
-  // (rows [64b, 64b+64)), so the loop parallelizes without write conflicts.
+  // (rows [64b, 64b+64)), so the loop parallelizes without write conflicts;
+  // the word count is an integer sum, so the reduction is order-invariant.
   const std::int64_t out_words = (rows_ + 63) / 64;
+  std::int64_t total = 0;
 #ifdef BMF_HAVE_OPENMP
-#pragma omp parallel for schedule(static) if (rows_ >= 2048)
+#pragma omp parallel for schedule(static) reduction(+ : total) if (rows_ >= 2048)
 #endif
   for (std::int64_t b = 0; b < out_words; ++b) {
     std::uint64_t word = 0;
+    std::int64_t scanned = 0;
     const std::int64_t row_end = std::min<std::int64_t>(rows_, (b + 1) * 64);
     for (std::int64_t r = b * 64; r < row_end; ++r) {
       std::uint64_t any = 0;
       for (std::int64_t w = 0; w < words_per_row_; ++w) {
         any |= words_[idx(r, w)] & v.word(w);
+        ++scanned;
         if (any) break;
       }
       if (any) word |= 1ULL << (r & 63);
     }
     out.word(b) = word;
+    total += scanned;
   }
+  if (words_scanned != nullptr) *words_scanned = total;
 }
 
-std::int64_t BitMatrix::first_common_in_row(std::int64_t r, const BitVec& mask) const {
+std::int64_t BitMatrix::first_common_in_row(std::int64_t r, const BitVec& mask,
+                                            std::int64_t* words_scanned) const {
   BMF_ASSERT(mask.size() == cols_);
   for (std::int64_t w = 0; w < words_per_row_; ++w) {
     const std::uint64_t x = words_[idx(r, w)] & mask.word(w);
-    if (x != 0) return w * 64 + std::countr_zero(x);
+    if (x != 0) {
+      if (words_scanned != nullptr) *words_scanned = w + 1;
+      return w * 64 + std::countr_zero(x);
+    }
   }
+  if (words_scanned != nullptr) *words_scanned = words_per_row_;
   return -1;
 }
 

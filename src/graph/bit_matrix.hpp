@@ -57,14 +57,25 @@ class BitMatrix {
   [[nodiscard]] std::int64_t cols() const { return cols_; }
 
   /// Boolean matrix-vector product over the (OR, AND) semiring:
-  /// out[i] = OR_j (M[i][j] AND v[j]).  Cost O(rows * cols / 64).
-  void multiply(const BitVec& v, BitVec& out) const;
+  /// out[i] = OR_j (M[i][j] AND v[j]).  Worst case O(rows * cols / 64), but
+  /// each row stops at its first set AND-word; when `words_scanned` is
+  /// non-null it receives the number of 64-bit words actually read (the
+  /// honest cost for words-touched accounting — callers must not charge the
+  /// full rows * words_per_row()).
+  void multiply(const BitVec& v, BitVec& out,
+                std::int64_t* words_scanned = nullptr) const;
 
-  /// First column c in row r with M[r][c] AND mask[c], or -1.
-  [[nodiscard]] std::int64_t first_common_in_row(std::int64_t r,
-                                                 const BitVec& mask) const;
+  /// First column c in row r with M[r][c] AND mask[c], or -1. The scan
+  /// early-exits at the first set word; when `words_scanned` is non-null it
+  /// receives the number of row words actually read (hit at word w => w + 1,
+  /// miss => words_per_row()), which is what words-touched counters must
+  /// charge — not the full row.
+  [[nodiscard]] std::int64_t first_common_in_row(
+      std::int64_t r, const BitVec& mask,
+      std::int64_t* words_scanned = nullptr) const;
 
-  /// Number of columns c with M[r][c] AND mask[c].
+  /// Number of columns c with M[r][c] AND mask[c]. Always scans the whole
+  /// row (no early exit), so words-touched callers charge words_per_row().
   [[nodiscard]] std::int64_t row_intersect_count(std::int64_t r,
                                                  const BitVec& mask) const;
 

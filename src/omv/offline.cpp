@@ -37,6 +37,9 @@ void OfflineWeakOracle::set_edge(Vertex u, Vertex v, bool present) {
 void OfflineWeakOracle::rebase() {
   for (Vertex u = 0; u < n_; ++u) {
     auto& row = toggles_[static_cast<std::size_t>(u)];
+    // Rebasing patches only the words that carry toggles; charge exactly
+    // those (not the whole matrix — untouched rows are never read).
+    words_touched_ += static_cast<std::int64_t>(row.size());
     for (const auto& [w, bits] : row) {
       for (int b = 0; b < 64; ++b) {
         if ((bits >> b) & 1ULL) {
@@ -47,8 +50,6 @@ void OfflineWeakOracle::rebase() {
     }
     row.clear();
   }
-  // Materializing the base touches the whole matrix once.
-  words_touched_ += static_cast<std::int64_t>(n_) * words_per_row_;
   diff_count_ = 0;
   ++rebases_;
 }

@@ -37,6 +37,8 @@ class OfflineWeakOracle final : public WeakOracle {
 
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
   [[nodiscard]] std::int64_t diff_size() const { return diff_count_; }
+  /// Exact words read: patched probes count each word they scan (early exit
+  /// included) and rebase charges only the toggle-carrying words it patches.
   [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
   [[nodiscard]] std::int64_t rebases() const { return rebases_; }
 

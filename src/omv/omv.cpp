@@ -14,14 +14,19 @@ void DynamicOMv::update(std::int64_t i, std::int64_t j, bool b) {
 }
 
 void DynamicOMv::query(const BitVec& v, BitVec& out) {
-  m_.multiply(v, out);
+  // multiply() stops each row at its first set AND-word; charge the words it
+  // actually read rather than the n * n/64 worst case.
+  std::int64_t scanned = 0;
+  m_.multiply(v, out, &scanned);
   ++queries_;
-  words_touched_ += n_ * ((n_ + 63) / 64);
+  words_touched_ += scanned;
 }
 
 std::int64_t DynamicOMv::probe_row(std::int64_t r, const BitVec& mask) {
-  words_touched_ += (n_ + 63) / 64;
-  return m_.first_common_in_row(r, mask);
+  std::int64_t scanned = 0;
+  const std::int64_t col = m_.first_common_in_row(r, mask, &scanned);
+  words_touched_ += scanned;
+  return col;
 }
 
 }  // namespace bmf

@@ -39,7 +39,8 @@ class DynamicOMv {
   [[nodiscard]] std::int64_t updates() const { return updates_; }
   [[nodiscard]] std::int64_t queries() const { return queries_; }
   /// Machine words touched by queries/probes — the time proxy reported by the
-  /// OMv benchmarks.
+  /// OMv benchmarks. Exact: queries and probes charge the words their
+  /// early-exiting scans actually read, not per-row worst-case bounds.
   [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "dynamic/sharded_matcher.hpp"
 #include "util/assert.hpp"
 
 namespace bmf {
@@ -115,6 +116,82 @@ std::vector<EdgeUpdate> dyn_churn_planted(Vertex n, std::int64_t count, Rng& rng
     live.insert(edge_key(fresh.u, fresh.v));
     planted[i] = fresh;
     updates.push_back(EdgeUpdate::ins(fresh.u, fresh.v));
+  }
+  return updates;
+}
+
+std::vector<EdgeUpdate> dyn_shard_partitioned(Vertex n, int shards,
+                                              std::int64_t count,
+                                              double cross_fraction,
+                                              double insert_prob, Rng& rng) {
+  BMF_REQUIRE(shards >= 1 && n >= 2 * static_cast<Vertex>(shards) && count >= 0 &&
+                  cross_fraction >= 0 && cross_fraction <= 1,
+              "dyn_shard_partitioned: bad parameters");
+  // The engine's own partition rule (one source of truth for the block
+  // math). The ceil split can leave trailing blocks empty or single-vertex
+  // (e.g. n = 9, shards = 4 -> [0,3) [3,6) [6,9) []), so draws go through
+  // eligibility lists: intra-shard edges need a block of >= 2 vertices,
+  // cross-shard endpoints any non-empty block.
+  const VertexPartition part(n, shards);
+  std::vector<int> intra_ok, cross_ok;
+  for (int s = 0; s < part.shards(); ++s) {
+    if (part.size(s) >= 2) intra_ok.push_back(s);
+    if (part.size(s) >= 1) cross_ok.push_back(s);
+  }
+  BMF_ASSERT(!intra_ok.empty());  // n >= 2 guarantees block 0 holds two
+  const auto draw_in = [&](int s) {
+    return part.begin(s) +
+           static_cast<Vertex>(
+               rng.next_below(static_cast<std::uint64_t>(part.size(s))));
+  };
+
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::uint64_t> live;
+  std::vector<Edge> live_list;
+  // On tiny graphs an insert-heavy stream can saturate the whole edge set;
+  // force deletions at the cap so the generator always terminates.
+  const std::int64_t max_edges = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  while (static_cast<std::int64_t>(updates.size()) < count) {
+    const bool can_insert =
+        static_cast<std::int64_t>(live_list.size()) < max_edges;
+    const bool do_insert =
+        live_list.empty() || (can_insert && rng.next_bool(insert_prob));
+    if (do_insert) {
+      Edge e{kNoVertex, kNoVertex};
+      // A small block can saturate; after a bounded number of draws fall
+      // back to a global fresh edge (same idiom as dyn_batched_bursts).
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        Vertex u, v;
+        if (cross_ok.size() >= 2 && rng.next_bool(cross_fraction)) {
+          auto i = static_cast<std::size_t>(rng.next_below(cross_ok.size()));
+          auto j = static_cast<std::size_t>(rng.next_below(cross_ok.size() - 1));
+          if (j >= i) ++j;  // distinct shard, uniform over the rest
+          u = draw_in(cross_ok[i]);
+          v = draw_in(cross_ok[j]);
+        } else {
+          const int s = intra_ok[static_cast<std::size_t>(
+              rng.next_below(intra_ok.size()))];
+          u = draw_in(s);
+          v = draw_in(s);
+        }
+        if (u == v || live.contains(edge_key(u, v))) continue;
+        e = {std::min(u, v), std::max(u, v)};
+        break;
+      }
+      if (e.u == kNoVertex) e = random_fresh_edge(n, live, rng);
+      live.insert(edge_key(e.u, e.v));
+      live_list.push_back(e);
+      updates.push_back(EdgeUpdate::ins(e.u, e.v));
+    } else {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(live_list.size()));
+      const Edge e = live_list[i];
+      live_list[i] = live_list.back();
+      live_list.pop_back();
+      live.erase(edge_key(e.u, e.v));
+      updates.push_back(EdgeUpdate::del(e.u, e.v));
+    }
   }
   return updates;
 }

@@ -48,6 +48,21 @@ namespace bmf {
 [[nodiscard]] std::vector<EdgeUpdate> dyn_planted_teardown(Vertex pairs,
                                                            Vertex hubs, Rng& rng);
 
+/// Vertex-partition-aware stream for the sharded dynamic engine: vertices
+/// are split into `shards` contiguous blocks (the ShardedDynamicMatcher
+/// partition), and each insertion is intra-shard (both endpoints drawn from
+/// one uniformly chosen block) with probability 1 - cross_fraction, or
+/// cross-shard (endpoints from two distinct blocks) otherwise; deletions
+/// pick a uniform live edge. cross_fraction ~ 0 keeps updates shard-local
+/// (the cheap routing regime), ~ 1 makes every edge straddle shards and
+/// stresses the coordinator merge. Every emitted update is valid and the
+/// graph starts empty. Requires n >= 2 * shards; blocks the ceil split
+/// leaves too small to host a draw (empty, or single-vertex for intra-shard
+/// edges) are excluded from shard selection.
+[[nodiscard]] std::vector<EdgeUpdate> dyn_shard_partitioned(
+    Vertex n, int shards, std::int64_t count, double cross_fraction,
+    double insert_prob, Rng& rng);
+
 /// Cuts an update stream into consecutive batches of `batch_size` updates
 /// (the last batch may be shorter). Feeding the slices to
 /// `DynamicMatcher::apply_batch` in order replays the stream exactly.

@@ -60,7 +60,14 @@ RunResult run_batched(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
   cfg.seed = seed;
   cfg.threads = threads;
   DynamicMatcher dm(n, oracle, cfg);
-  for (const auto& batch : slice_updates(ups, batch_size)) dm.apply_batch(batch);
+  // Counter-monotonicity audit: the exact words_touched time proxy must
+  // never decrease as batches apply.
+  std::int64_t last_words = 0;
+  for (const auto& batch : slice_updates(ups, batch_size)) {
+    dm.apply_batch(batch);
+    EXPECT_GE(oracle.words_touched(), last_words);
+    last_words = oracle.words_touched();
+  }
   return collect(dm);
 }
 

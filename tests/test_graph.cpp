@@ -204,6 +204,42 @@ TEST(BitMatrix, RowQueries) {
   EXPECT_EQ(m.first_common_in_row(0, mask), -1);
 }
 
+TEST(BitMatrix, CountedRowProbeReportsWordsActuallyScanned) {
+  // 200 columns = 4 words per row. The probe early-exits at the first set
+  // AND-word, so the reported scan count is position-dependent, not the
+  // whole row.
+  BitMatrix m(4, 200);
+  m.set(2, 150);  // word 2
+  m.set(2, 7);    // word 0
+  BitVec mask(200);
+  mask.set(150);
+  std::int64_t words = 0;
+  EXPECT_EQ(m.first_common_in_row(2, mask, &words), 150);
+  EXPECT_EQ(words, 3);  // words 0, 1 empty; hit in word 2
+  mask.set(7);
+  EXPECT_EQ(m.first_common_in_row(2, mask, &words), 7);
+  EXPECT_EQ(words, 1);  // hit in word 0
+  EXPECT_EQ(m.first_common_in_row(0, mask, &words), -1);
+  EXPECT_EQ(words, 4);  // full-row miss scans every word
+}
+
+TEST(BitMatrix, CountedMultiplyReportsPerRowEarlyExit) {
+  // 130 columns = 3 words per row, 3 rows. Row 0 hits in its first word
+  // (1 word), row 1 hits only in word 2 (3 words), row 2 misses (3 words).
+  BitMatrix m(3, 130);
+  m.set(0, 1);
+  m.set(1, 129);
+  BitVec v(130), out(3);
+  v.set(1);
+  v.set(129);
+  std::int64_t words = 0;
+  m.multiply(v, out, &words);
+  EXPECT_TRUE(out.get(0));
+  EXPECT_TRUE(out.get(1));
+  EXPECT_FALSE(out.get(2));
+  EXPECT_EQ(words, 1 + 3 + 3);
+}
+
 TEST(BitMatrix, FromGraphSymmetric) {
   const Graph g = make_graph(5, std::vector<Edge>{{0, 4}, {1, 2}});
   const BitMatrix m = BitMatrix::from_graph(g);

@@ -39,6 +39,24 @@ TEST(DynamicOMv, QueryMatchesNaiveProduct) {
   EXPECT_GT(omv.words_touched(), 0);
 }
 
+TEST(DynamicOMv, WordsTouchedCountsEarlyExitingScansExactly) {
+  // n = 130 -> 3 words per row.
+  DynamicOMv omv(130);
+  omv.update(0, 1, true);
+  BitVec mask(130);
+  mask.set(1);
+  EXPECT_EQ(omv.probe_row(0, mask), 1);  // hit in word 0
+  EXPECT_EQ(omv.words_touched(), 1);
+  EXPECT_EQ(omv.probe_row(1, mask), -1);  // empty row: full 3-word miss
+  EXPECT_EQ(omv.words_touched(), 4);
+  // query: row 0 stops at word 0 (1 word), rows 1..129 are empty and scan
+  // all 3 words each — not the n * words_per_row worst case.
+  BitVec v(130), out(130);
+  v.set(1);
+  omv.query(v, out);
+  EXPECT_EQ(omv.words_touched(), 4 + 1 + 129 * 3);
+}
+
 TEST(DynamicOMv, ProbeRowRespectsMask) {
   DynamicOMv omv(100);
   omv.update(5, 80, true);

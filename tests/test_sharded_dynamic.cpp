@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/sharded_matcher.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/dyn_workload.hpp"
+#include "workloads/gen.hpp"
+
+namespace bmf {
+namespace {
+
+// ------------------------------------------------------------- partition
+
+TEST(ShardedPartition, ContiguousCoverWithRemainderInLastShard) {
+  const VertexPartition p(10, 3);  // block = 4: [0,4) [4,8) [8,10)
+  EXPECT_EQ(p.shards(), 3);
+  EXPECT_EQ(p.begin(0), 0);
+  EXPECT_EQ(p.end(0), 4);
+  EXPECT_EQ(p.begin(2), 8);
+  EXPECT_EQ(p.end(2), 10);
+  for (Vertex v = 0; v < 10; ++v) {
+    const int s = p.owner(v);
+    EXPECT_GE(v, p.begin(s));
+    EXPECT_LT(v, p.end(s));
+  }
+  Vertex covered = 0;
+  for (int s = 0; s < p.shards(); ++s) covered += p.size(s);
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(ShardedPartition, MoreShardsThanVerticesLeavesEmptyTailShards) {
+  const VertexPartition p(3, 8);  // block = 1: shards 3..7 are empty
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(p.owner(v), v);
+  for (int s = 3; s < 8; ++s) EXPECT_EQ(p.size(s), 0);
+  const VertexPartition empty(0, 4);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(empty.size(s), 0);
+}
+
+// ----------------------------------------------------- oracle equivalence
+
+std::vector<Vertex> random_subset(Vertex n, double p, Rng& rng) {
+  std::vector<Vertex> s;
+  for (Vertex v = 0; v < n; ++v)
+    if (rng.next_bool(p)) s.push_back(v);
+  return s;
+}
+
+void expect_same_answer(const WeakQueryResult& got, const WeakQueryResult& want) {
+  ASSERT_EQ(got.matching.size(), want.matching.size());
+  for (std::size_t i = 0; i < got.matching.size(); ++i) {
+    EXPECT_EQ(got.matching[i].u, want.matching[i].u);
+    EXPECT_EQ(got.matching[i].v, want.matching[i].v);
+  }
+  EXPECT_EQ(got.bottom, want.bottom);
+}
+
+class ShardedOracleProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedOracleProps, QueriesMatchMatrixOracleAtEveryShardThreadCombo) {
+  Rng rng(GetParam());
+  const Graph g = gen_random_graph(70, 260, rng);
+  MatrixWeakOracle serial = MatrixWeakOracle::from_graph(g);
+  const auto s = random_subset(70, 0.5, rng);
+  const auto plus = random_subset(70, 0.4, rng);
+  const auto minus = random_subset(70, 0.4, rng);
+  const auto want_q = serial.query(s, 0.01);
+  const auto want_c = serial.query_cover(plus, minus, 0.01);
+
+  const ForceParallelSmallWork force;
+  std::int64_t words_reference = -1;
+  for (const int shards : {1, 2, 4}) {
+    for (const int threads : {1, 2, 8}) {
+      ShardedMatrixOracle oracle(70, shards, threads);
+      for (const Edge& e : g.edges()) oracle.on_insert(e.u, e.v);
+      expect_same_answer(oracle.query(s, 0.01), want_q);
+      expect_same_answer(oracle.query_cover(plus, minus, 0.01), want_c);
+      EXPECT_EQ(oracle.calls(), serial.calls())
+          << "shards=" << shards << " threads=" << threads;
+      // words_touched is exact and speculative-scan deterministic: the same
+      // probes run at every (shards x threads), so the count is invariant.
+      if (words_reference < 0) words_reference = oracle.words_touched();
+      EXPECT_EQ(oracle.words_touched(), words_reference)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ShardedOracleProps, QueriesMatchAfterErasures) {
+  Rng rng(GetParam() + 50);
+  const Graph g = gen_random_graph(48, 180, rng);
+  MatrixWeakOracle serial = MatrixWeakOracle::from_graph(g);
+  ShardedMatrixOracle sharded(48, 3, 4);
+  for (const Edge& e : g.edges()) sharded.on_insert(e.u, e.v);
+  for (std::size_t i = 0; i < g.edges().size(); i += 3) {
+    serial.on_erase(g.edges()[i].u, g.edges()[i].v);
+    sharded.on_erase(g.edges()[i].u, g.edges()[i].v);
+  }
+  const ForceParallelSmallWork force;
+  const auto s = random_subset(48, 0.6, rng);
+  expect_same_answer(sharded.query(s, 0.0), serial.query(s, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedOracleProps, ::testing::Values(1u, 2u, 3u));
+
+// --------------------------------------------- on_batch vs serial replay
+
+/// A randomized update batch whose `structural` flags are exactly the
+/// resolve_structural semantics (flag = the update toggles edge presence
+/// given earlier batch members), mixing structural and non-structural
+/// entries: duplicate inserts, deletes of absent edges, and same-edge
+/// toggles within one batch.
+struct FlaggedBatch {
+  std::vector<EdgeUpdate> updates;
+  std::vector<std::uint8_t> structural;
+};
+
+FlaggedBatch random_flagged_batch(Vertex n, std::size_t count, Rng& rng) {
+  FlaggedBatch b;
+  std::unordered_set<std::uint64_t> present;  // evolving presence under replay
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+    if (v >= u) ++v;
+    const bool ins = rng.next_bool(0.6);
+    const std::uint64_t key = edge_key(u, v);
+    // Structural iff the update toggles presence: insert of an absent edge
+    // or delete of a present one (resolve_structural semantics).
+    const bool toggles = ins != present.contains(key);
+    b.updates.push_back(ins ? EdgeUpdate::ins(u, v) : EdgeUpdate::del(u, v));
+    if (toggles) {
+      b.structural.push_back(1);
+      if (ins)
+        present.insert(key);
+      else
+        present.erase(key);
+    } else {
+      b.structural.push_back(0);
+    }
+  }
+  return b;
+}
+
+class ShardedOnBatch : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedOnBatch, MatrixOracleBatchEqualsSerialInsertEraseLoop) {
+  Rng rng(GetParam());
+  const Vertex n = 48;
+  const FlaggedBatch b = random_flagged_batch(n, 160, rng);
+
+  MatrixWeakOracle want(n);
+  for (std::size_t i = 0; i < b.updates.size(); ++i) {
+    if (!b.structural[i]) continue;
+    if (b.updates[i].insert)
+      want.on_insert(b.updates[i].u, b.updates[i].v);
+    else
+      want.on_erase(b.updates[i].u, b.updates[i].v);
+  }
+
+  const ForceParallelSmallWork force;
+  for (const int threads : {1, 2, 8}) {
+    MatrixWeakOracle got(n);
+    got.on_batch(b.updates, b.structural, threads);
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = 0; v < n; ++v)
+        ASSERT_EQ(got.adjacency().get(u, v), want.adjacency().get(u, v))
+            << "threads=" << threads << " bit (" << u << ", " << v << ")";
+  }
+}
+
+TEST_P(ShardedOnBatch, ShardedOracleBatchEqualsSerialInsertEraseLoop) {
+  Rng rng(GetParam() + 10);
+  const Vertex n = 48;
+  const FlaggedBatch b = random_flagged_batch(n, 160, rng);
+
+  MatrixWeakOracle want(n);
+  for (std::size_t i = 0; i < b.updates.size(); ++i) {
+    if (!b.structural[i]) continue;
+    if (b.updates[i].insert)
+      want.on_insert(b.updates[i].u, b.updates[i].v);
+    else
+      want.on_erase(b.updates[i].u, b.updates[i].v);
+  }
+
+  const ForceParallelSmallWork force;
+  for (const int shards : {1, 2, 4})
+    for (const int threads : {1, 2, 8}) {
+      ShardedMatrixOracle got(n, shards, threads);
+      got.on_batch(b.updates, b.structural, threads);
+      for (Vertex u = 0; u < n; ++u)
+        for (Vertex v = 0; v < n; ++v)
+          ASSERT_EQ(got.bit(u, v), want.adjacency().get(u, v))
+              << "shards=" << shards << " threads=" << threads << " bit (" << u
+              << ", " << v << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedOnBatch, ::testing::Values(1u, 2u, 3u));
+
+// --------------------------------------------------- matcher differential
+
+/// Everything the sharded determinism contract promises to preserve against
+/// DynamicMatcher.
+struct RunResult {
+  std::vector<Vertex> mates;
+  std::int64_t matching_size = 0;
+  std::int64_t updates = 0;
+  std::int64_t rebuilds = 0;
+  std::int64_t weak_calls = 0;
+  std::int64_t num_edges = 0;
+  std::vector<Edge> graph_edges;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult run_reference(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
+                        std::uint64_t seed) {
+  MatrixWeakOracle oracle(n);
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  DynamicMatcher dm(n, oracle, cfg);
+  for (const EdgeUpdate& up : ups) dm.apply(up);
+  RunResult r;
+  for (Vertex v = 0; v < n; ++v) r.mates.push_back(dm.matching().mate(v));
+  r.matching_size = dm.matching().size();
+  r.updates = dm.updates();
+  r.rebuilds = dm.rebuilds();
+  r.weak_calls = dm.weak_calls();
+  r.num_edges = dm.graph().num_edges();
+  const Graph s = dm.graph().snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+RunResult run_sharded(Vertex n, const std::vector<std::vector<EdgeUpdate>>& batches,
+                      double eps, std::uint64_t seed, int shards, int threads,
+                      std::int64_t* words_out = nullptr) {
+  const ForceParallelSmallWork force;
+  ShardedMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  ShardedDynamicMatcher dm(n, cfg);
+  // Counter-monotonicity audit: the exact words_touched proxy must never
+  // decrease as batches apply.
+  std::int64_t last_words = 0;
+  for (const auto& batch : batches) {
+    dm.apply_batch(batch);
+    EXPECT_GE(dm.oracle().words_touched(), last_words);
+    last_words = dm.oracle().words_touched();
+  }
+  if (words_out != nullptr) *words_out = last_words;
+  RunResult r;
+  for (Vertex v = 0; v < n; ++v) r.mates.push_back(dm.matching().mate(v));
+  r.matching_size = dm.matching().size();
+  r.updates = dm.updates();
+  r.rebuilds = dm.rebuilds();
+  r.weak_calls = dm.weak_calls();
+  r.num_edges = dm.num_edges();
+  const Graph s = dm.snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+void expect_sharded_equals_reference(Vertex n, const std::vector<EdgeUpdate>& ups,
+                                     double eps, std::uint64_t seed,
+                                     std::int64_t batch_size) {
+  const RunResult want = run_reference(n, ups, eps, seed);
+  EXPECT_GT(want.rebuilds, 0) << "stream too small to exercise rebuilds";
+  const auto batches = slice_updates(ups, batch_size);
+  std::int64_t words_reference = -1;
+  for (const int shards : {1, 2, 4})
+    for (const int threads : {1, 2, 8}) {
+      std::int64_t words = 0;
+      const RunResult got =
+          run_sharded(n, batches, eps, seed, shards, threads, &words);
+      EXPECT_EQ(got, want) << "shards=" << shards << " threads=" << threads
+                           << " batch=" << batch_size << " seed=" << seed;
+      // The probe schedule is deterministic, so the exact words count is
+      // invariant across the whole (shards x threads) grid.
+      if (words_reference < 0) words_reference = words;
+      EXPECT_EQ(words, words_reference)
+          << "shards=" << shards << " threads=" << threads;
+    }
+}
+
+class ShardedDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedDifferential, PlantedTeardownHeavyRuns) {
+  Rng rng(GetParam() + 500);
+  const auto ups = dyn_planted_teardown(16, 3, rng);
+  expect_sharded_equals_reference(2 * 16 + 3, ups, 1.0, GetParam(), 64);
+}
+
+TEST_P(ShardedDifferential, BatchedBurstsHotConflicts) {
+  Rng rng(GetParam() + 400);
+  const auto batches = dyn_batched_bursts(48, 6, 50, 0.65, 0.8, rng);
+  std::vector<EdgeUpdate> flat;
+  for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+  const RunResult want = run_reference(48, flat, 0.25, GetParam());
+  EXPECT_GT(want.rebuilds, 0);
+  for (const int shards : {1, 2, 4})
+    for (const int threads : {1, 2, 8})
+      EXPECT_EQ(run_sharded(48, batches, 0.25, GetParam(), shards, threads), want)
+          << "shards=" << shards << " threads=" << threads;
+}
+
+TEST_P(ShardedDifferential, CrossShardHeavyMix) {
+  Rng rng(GetParam() + 600);
+  const auto ups = dyn_shard_partitioned(48, 4, 380, 0.7, 0.7, rng);
+  expect_sharded_equals_reference(48, ups, 0.25, GetParam(), 64);
+}
+
+TEST_P(ShardedDifferential, ShardLocalMix) {
+  Rng rng(GetParam() + 700);
+  const auto ups = dyn_shard_partitioned(48, 4, 380, 0.05, 0.7, rng);
+  expect_sharded_equals_reference(48, ups, 0.25, GetParam(),
+                                  static_cast<std::int64_t>(ups.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential, ::testing::Values(1u, 2u, 3u));
+
+TEST(ShardedDifferential, SerialApplyPathMatchesReferenceAcrossShardCounts) {
+  Rng rng(11);
+  const auto ups = dyn_random_updates(40, 300, 0.7, rng);
+  const RunResult want = run_reference(40, ups, 0.25, 11);
+  for (const int shards : {1, 3, 5}) {
+    ShardedMatcherConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = 11;
+    cfg.shards = shards;
+    cfg.threads = 1;
+    ShardedDynamicMatcher dm(40, cfg);
+    for (const EdgeUpdate& up : ups) dm.apply(up);
+    EXPECT_EQ(dm.matching().size(), want.matching_size) << "shards=" << shards;
+    EXPECT_EQ(dm.rebuilds(), want.rebuilds) << "shards=" << shards;
+    EXPECT_EQ(dm.weak_calls(), want.weak_calls) << "shards=" << shards;
+    for (Vertex v = 0; v < 40; ++v)
+      EXPECT_EQ(dm.matching().mate(v), want.mates[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(ShardedDifferential, EmptyUpdatesAndNoOps) {
+  std::vector<EdgeUpdate> ups;
+  for (Vertex i = 0; i < 10; ++i) ups.push_back(EdgeUpdate::ins(i, i + 10));
+  ups.push_back(EdgeUpdate::none());
+  ups.push_back(EdgeUpdate::ins(0, 10));   // duplicate insert (no-op)
+  ups.push_back(EdgeUpdate::del(5, 19));   // absent edge (no-op)
+  ups.push_back(EdgeUpdate::del(0, 10));   // matched deletion (heavy)
+  ups.push_back(EdgeUpdate::none());
+  ups.push_back(EdgeUpdate::ins(0, 10));   // re-insert
+  ups.push_back(EdgeUpdate::ins(10, 11));  // conflicts with the re-insert
+  const RunResult want = run_reference(20, ups, 0.5, 1);
+  const auto batches = slice_updates(ups, 100);
+  for (const int shards : {1, 2, 4})
+    for (const int threads : {1, 2, 8})
+      EXPECT_EQ(run_sharded(20, batches, 0.5, 1, shards, threads), want)
+          << "shards=" << shards << " threads=" << threads;
+}
+
+TEST(ShardedDifferential, InvalidUpdateRejectedBeforeMutation) {
+  ShardedMatcherConfig cfg;
+  cfg.shards = 2;
+  ShardedDynamicMatcher dm(8, cfg);
+  std::vector<EdgeUpdate> bad{EdgeUpdate::ins(0, 1), EdgeUpdate::ins(3, 3)};
+  EXPECT_THROW(dm.apply_batch(bad), std::invalid_argument);
+  EXPECT_EQ(dm.updates(), 0);
+  EXPECT_EQ(dm.num_edges(), 0);
+}
+
+TEST(ShardedWorkloads, ShardPartitionedStreamIsValidAndSkewed) {
+  Rng rng(13);
+  const int shards = 4;
+  const Vertex n = 64;  // blocks of 16
+  const auto local = dyn_shard_partitioned(n, shards, 400, 0.0, 0.7, rng);
+  const auto cross = dyn_shard_partitioned(n, shards, 400, 1.0, 0.7, rng);
+  const VertexPartition part(n, shards);
+  const auto owner = [&](Vertex v) { return part.owner(v); };
+  DynGraph g1(n), g2(n);
+  std::int64_t cross_in_local = 0, cross_in_cross = 0, ins1 = 0, ins2 = 0;
+  for (const EdgeUpdate& up : local) {
+    if (up.insert) {
+      EXPECT_TRUE(g1.insert(up.u, up.v));
+      ++ins1;
+      cross_in_local += owner(up.u) != owner(up.v);
+    } else {
+      EXPECT_TRUE(g1.erase(up.u, up.v));
+    }
+  }
+  for (const EdgeUpdate& up : cross) {
+    if (up.insert) {
+      EXPECT_TRUE(g2.insert(up.u, up.v));
+      ++ins2;
+      cross_in_cross += owner(up.u) != owner(up.v);
+    } else {
+      EXPECT_TRUE(g2.erase(up.u, up.v));
+    }
+  }
+  // cross_fraction = 0 stays (nearly; saturation fallback aside) intra-shard;
+  // cross_fraction = 1 straddles shards on (nearly) every insertion.
+  EXPECT_LT(cross_in_local * 10, ins1);
+  EXPECT_GT(cross_in_cross * 10, 9 * ins2);
+}
+
+TEST(ShardedWorkloads, UnevenPartitionsExcludeUndersizedBlocksFromDraws) {
+  // n = 9, shards = 4: ceil split [0,3) [3,6) [6,9) [] — the last block is
+  // empty; n = 10 leaves a single-vertex block [9,10) that can host a
+  // cross-shard endpoint but no intra-shard edge. Streams must stay valid.
+  Rng rng(17);
+  for (const Vertex n : {9, 10}) {
+    for (const double cross : {0.0, 1.0}) {
+      const auto ups = dyn_shard_partitioned(n, 4, 150, cross, 0.7, rng);
+      DynGraph g(n);
+      for (const EdgeUpdate& up : ups) {
+        if (up.insert) {
+          EXPECT_TRUE(g.insert(up.u, up.v));
+        } else {
+          EXPECT_TRUE(g.erase(up.u, up.v));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bmf

@@ -96,6 +96,39 @@ TEST_P(WeakOracleProps, MatrixAndOMvOraclesAgreeOnCoverQueries) {
   }
 }
 
+TEST(WeakOracleCostAccounting, HandCountedWordsTouchedFixture) {
+  // n = 130 -> 3 words per row. Edges: {0,1}, {0,128}, {2,128}.
+  MatrixWeakOracle oracle(130);
+  oracle.on_insert(0, 1);
+  oracle.on_insert(0, 128);
+  oracle.on_insert(2, 128);
+
+  // query({0,1,2,3}): u=0 probes against avail {0,1,2,3} and hits bit 1 in
+  // word 0 -> 1 word, matches (0,1); u=1 is consumed -> no probe, 0 words;
+  // u=2's only neighbor 128 is not in avail {2,3} -> full 3-word miss;
+  // u=3 has an empty row -> full 3-word miss. Total: 1 + 0 + 3 + 3 = 7.
+  const std::vector<Vertex> s{0, 1, 2, 3};
+  const auto res = oracle.query(s, 0.0);
+  ASSERT_EQ(res.matching.size(), 1u);
+  EXPECT_EQ(res.matching[0].u, 0);
+  EXPECT_EQ(res.matching[0].v, 1);
+  EXPECT_EQ(oracle.words_touched(), 7);
+
+  // query_cover({0,2}, {1,3}): 0+ hits 1- in word 0 -> 1 word; 2+'s only
+  // neighbor 128 is not in {3} -> 3-word miss. Total 4 more.
+  const auto cover = oracle.query_cover(std::vector<Vertex>{0, 2},
+                                        std::vector<Vertex>{1, 3}, 0.0);
+  ASSERT_EQ(cover.matching.size(), 1u);
+  EXPECT_EQ(oracle.words_touched(), 11);
+
+  // The pre-fix accounting charged ceil(130/64) = 3 words per probe
+  // (3 + 3 + 3 = 9 for the first query): pin that the overcount is gone.
+  MatrixWeakOracle recount(130);
+  recount.on_insert(0, 1);
+  (void)recount.query(s, 0.0);  // u=0: 1 word; u=2, u=3: 3-word misses
+  EXPECT_EQ(recount.words_touched(), 7);
+}
+
 TEST_P(WeakOracleProps, WordsTouchedGrowsWithQueries) {
   Rng rng(GetParam() + 120);
   const Graph g = gen_random_graph(64, 128, rng);
