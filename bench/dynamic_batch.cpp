@@ -126,6 +126,18 @@ int main(int argc, char** argv) {
                    updates, 0.25, /*rebuild_every=*/0, /*batch_size=*/128);
   }
 
+  {
+    // Phase-rotating churn on a fixed rebuild cadence: every regime of the
+    // replay core in one stream, with rebuild/update overlap windows
+    // (including pre-classified deletion windows) recurring throughout.
+    const Vertex n = args.quick ? 200 : 300;
+    Rng rng(13);
+    const auto updates = dyn_mixed_churn(n, args.quick ? 3000 : 6000, rng);
+    run_comparison(out, "mixed_churn_overlap",
+                   "mixed-churn identity (deletion-window overlap)", n, updates,
+                   0.25, /*rebuild_every=*/24, /*batch_size=*/128);
+  }
+
   if (!args.json_path.empty() && !out.write(args.json_path)) {
     std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
     return 1;

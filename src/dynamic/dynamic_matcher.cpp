@@ -1,10 +1,5 @@
 #include "dynamic/dynamic_matcher.hpp"
 
-#include <cmath>
-#include <exception>
-#include <thread>
-#include <utility>
-
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -12,34 +7,10 @@ namespace bmf {
 
 DynamicMatcher::DynamicMatcher(Vertex n, WeakOracle& oracle,
                                const DynamicMatcherConfig& cfg)
-    : g_(n), oracle_(oracle), cfg_(cfg), m_(n), mark_(static_cast<std::size_t>(n), 0) {
-  BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "DynamicMatcher: eps out of range");
-  cfg_.sim.core.eps = cfg.eps / 2.0;
-  cfg_.sim.core.seed = cfg.seed;
-  // The rebuild's internal discovery fans out on the same knob as the batch
-  // engine; parallelism never changes results, so forcing it is safe.
-  cfg_.sim.core.threads = cfg.threads;
-}
-
-void DynamicMatcher::try_match(Vertex v) {
-  if (!m_.is_free(v)) return;
-  for (Vertex w : g_.neighbors(v)) {
-    if (m_.is_free(w)) {
-      m_.add(v, w);
-      return;
-    }
-  }
-}
-
-void DynamicMatcher::on_structural_change(Vertex u, Vertex v, bool inserted) {
-  if (inserted) {
-    if (m_.is_free(u) && m_.is_free(v)) m_.add(u, v);
-  } else if (m_.has(u, v)) {
-    m_.remove_at(u);
-    try_match(u);
-    try_match(v);
-  }
-}
+    : oracle_(oracle), store_(n, oracle), core_(store_, [&] {
+        validate_core_config(cfg, /*shards=*/1, "DynamicMatcher");
+        return resolve_core_config(cfg);
+      }()) {}
 
 void DynamicMatcher::insert(Vertex u, Vertex v) {
   apply(EdgeUpdate::ins(u, v));
@@ -50,336 +21,11 @@ void DynamicMatcher::erase(Vertex u, Vertex v) {
 }
 
 void DynamicMatcher::apply(const EdgeUpdate& update) {
-  ++updates_;
-  ++since_rebuild_;
-  if (!update.empty()) {
-    if (update.insert) {
-      if (g_.insert(update.u, update.v)) {
-        oracle_.on_insert(update.u, update.v);
-        on_structural_change(update.u, update.v, true);
-      }
-    } else {
-      if (g_.erase(update.u, update.v)) {
-        oracle_.on_erase(update.u, update.v);
-        on_structural_change(update.u, update.v, false);
-      }
-    }
-  }
-  maybe_rebuild();
-}
-
-bool DynamicMatcher::is_heavy(const EdgeUpdate& up) const {
-  // m_ only ever holds live edges, so a matched pair implies edge presence.
-  return !up.empty() && !up.insert && m_.has(up.u, up.v);
-}
-
-std::size_t DynamicMatcher::light_prefix_length(std::span<const EdgeUpdate> rest) {
-  ++epoch_;
-  std::size_t j = 0;
-  for (; j < rest.size(); ++j) {
-    const EdgeUpdate& c = rest[j];
-    if (c.empty()) continue;
-    auto& mu = mark_[static_cast<std::size_t>(c.u)];
-    auto& mv = mark_[static_cast<std::size_t>(c.v)];
-    if (mu == epoch_ || mv == epoch_) break;
-    // A matched-edge deletion ends the prefix: its repair reads neighbors'
-    // mates, which concurrent prefix members may be writing. The mate test is
-    // exact here because earlier prefix members cannot touch c's endpoints.
-    if (is_heavy(c)) break;
-    mu = epoch_;
-    mv = epoch_;
-  }
-  return j;
-}
-
-std::size_t DynamicMatcher::heavy_run_length(std::span<const EdgeUpdate> rest) {
-  if (heavy_index_.empty())
-    heavy_index_.assign(mark_.size(), 0);
-  ++epoch_;
-  std::size_t j = 0;
-  for (; j < rest.size(); ++j) {
-    const EdgeUpdate& c = rest[j];
-    if (c.empty() || c.insert) break;
-    auto& mu = mark_[static_cast<std::size_t>(c.u)];
-    auto& mv = mark_[static_cast<std::size_t>(c.v)];
-    if (mu == epoch_ || mv == epoch_) break;
-    // Disjointness keeps m_ exact at c's endpoints, so this test equals the
-    // sequential at-time heaviness; a light deletion ends the run.
-    if (!m_.has(c.u, c.v)) break;
-    mu = epoch_;
-    mv = epoch_;
-    heavy_index_[static_cast<std::size_t>(c.u)] = static_cast<std::int32_t>(j);
-    heavy_index_[static_cast<std::size_t>(c.v)] = static_cast<std::int32_t>(j);
-  }
-  return j;
-}
-
-std::size_t DynamicMatcher::apply_heavy_run(std::span<const EdgeUpdate> run,
-                                            int threads) {
-  // Worst-case budget replay: |M| drops by at most one per deletion and
-  // rebuild_budget is nondecreasing in |M|, so while
-  // since_rebuild_ + i < rebuild_budget(|M| - i) no rebuild can fire at
-  // update i for ANY rematch outcome — exactly where the sequential loop
-  // cannot fire either. Truncate the run to that provably rebuild-free bound.
-  const std::int64_t sz0 = m_.size();
-  std::int64_t safe = 0;
-  while (safe < static_cast<std::int64_t>(run.size()) &&
-         since_rebuild_ + safe + 1 < rebuild_budget(sz0 - (safe + 1)))
-    ++safe;
-  if (safe == 0) {
-    // The very next deletion may fire a rebuild; take the serial path for it.
-    apply(run[0]);
-    return 1;
-  }
-  run = run.first(static_cast<std::size_t>(safe));
-
-  // Every run member deletes a currently matched (hence present) edge, so
-  // the whole run is structural: delete batch-parallel, maintain the oracle.
-  structural_.assign(run.size(), 1);
-  const std::span<const std::uint8_t> flags(structural_.data(), run.size());
-  g_.apply_structural_disjoint(run, flags, threads);
-  oracle_.on_batch(run, flags, threads);
-
-  // Reservation scan (parallel, read-only): endpoint 2i / 2i+1 collects the
-  // ascending list of neighbors that can possibly be free at its commit turn
-  // — free before the run, or freed by an earlier deletion of the run.
-  // Deleting the run's matched edges does not change any other endpoint's
-  // adjacency (endpoints are disjoint), so the post-deletion neighbor scan
-  // equals the sequential at-time scan.
-  std::vector<std::vector<Vertex>> cand(2 * run.size());
-  // Short runs scan inline; the pool round-trip would dominate.
-  const int scan_threads =
-      gated_threads(static_cast<std::int64_t>(run.size()), 8, threads);
-  parallel_for_threads(
-      scan_threads, static_cast<std::int64_t>(2 * run.size()), [&](std::int64_t k) {
-        const auto i = static_cast<std::size_t>(k / 2);
-        const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
-        auto& out = cand[static_cast<std::size_t>(k)];
-        for (Vertex nb : g_.neighbors(x)) {
-          const auto nbi = static_cast<std::size_t>(nb);
-          if (m_.is_free(nb) ||
-              (mark_[nbi] == epoch_ &&
-               heavy_index_[nbi] < static_cast<std::int32_t>(i)))
-            out.push_back(nb);
-        }
-      });
-
-  // Serial commit in update order: unmatch the pair, then rematch each freed
-  // endpoint with its first still-free reserved neighbor — the sequential
-  // minimum-free-neighbor repair, endpoint for endpoint.
-  for (std::size_t i = 0; i < run.size(); ++i) {
-    m_.remove_at(run[i].u);
-    for (const std::size_t k : {2 * i, 2 * i + 1}) {
-      const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
-      if (!m_.is_free(x)) continue;
-      for (Vertex nb : cand[k]) {
-        if (m_.is_free(nb)) {
-          m_.add(x, nb);
-          break;
-        }
-      }
-    }
-    ++updates_;
-    ++since_rebuild_;
-  }
-  BMF_ASSERT(since_rebuild_ < rebuild_budget(m_.size()));
-  return run.size();
-}
-
-DynamicMatcher::PrefixOutcome DynamicMatcher::apply_light_prefix(
-    std::span<const EdgeUpdate> prefix, int threads) {
-  const auto len = static_cast<std::int64_t>(prefix.size());
-  structural_.assign(prefix.size(), 0);
-  match_.assign(prefix.size(), 0);
-
-  // Decisions read only the update's own endpoints (untouched by the rest of
-  // the prefix), so concurrent evaluation against the pre-prefix state equals
-  // the sequential decisions exactly. Short prefixes evaluate inline.
-  const int decision_threads = gated_threads(len, 32, threads);
-  parallel_for_threads(decision_threads, len, [&](std::int64_t i) {
-    const auto k = static_cast<std::size_t>(i);
-    const EdgeUpdate& up = prefix[k];
-    if (up.empty()) return;
-    if (up.insert) {
-      if (!g_.has_edge(up.u, up.v)) {
-        structural_[k] = 1;
-        if (m_.is_free(up.u) && m_.is_free(up.v)) match_[k] = 1;
-      }
-    } else {
-      // Matched deletions never enter a prefix, so a structural deletion here
-      // is of an unmatched edge and needs no repair.
-      if (g_.has_edge(up.u, up.v)) structural_[k] = 1;
-    }
-  });
-
-  // Replay the rebuild budget to find where maybe_rebuild() would fire in the
-  // sequential loop; truncate the prefix there (inclusive).
-  std::size_t cut = prefix.size();
-  bool fire = false;
-  {
-    std::int64_t sz = m_.size();
-    std::int64_t since = since_rebuild_;
-    for (std::size_t k = 0; k < prefix.size(); ++k) {
-      ++since;
-      if (match_[k]) ++sz;
-      if (since >= rebuild_budget(sz)) {
-        cut = k + 1;
-        fire = true;
-        break;
-      }
-    }
-  }
-
-  const auto committed = prefix.first(cut);
-  const auto flags = std::span<const std::uint8_t>(structural_).first(cut);
-  g_.apply_structural_disjoint(committed, flags, threads);
-  oracle_.on_batch(committed, flags, threads);
-  for (std::size_t k = 0; k < cut; ++k) {
-    ++updates_;
-    ++since_rebuild_;
-    if (match_[k]) m_.add(prefix[k].u, prefix[k].v);
-  }
-  return {cut, fire};
-}
-
-std::size_t DynamicMatcher::rebuild_overlapped(std::span<const EdgeUpdate> rest,
-                                               int threads) {
-  // The window that may overlap the rebuild: consecutive insertions/no-ops
-  // with pairwise-disjoint endpoints. Deletions stop it (their heaviness
-  // depends on the rebuild's output), and the worst-case post-rebuild budget
-  // bounds it: boosting never shrinks the matching and the window holds no
-  // deletion, so |M| stays >= its arm-time size and the first
-  // rebuild_budget(|M|) - 1 updates after the rebuild are provably
-  // rebuild-free.
-  const std::int64_t cap = rebuild_budget(m_.size()) - 1;
-  ++epoch_;
-  std::size_t w = 0;
-  while (w < rest.size() && static_cast<std::int64_t>(w) < cap) {
-    const EdgeUpdate& c = rest[w];
-    if (c.empty()) {
-      ++w;
-      continue;
-    }
-    if (!c.insert) break;
-    auto& mu = mark_[static_cast<std::size_t>(c.u)];
-    auto& mv = mark_[static_cast<std::size_t>(c.v)];
-    if (mu == epoch_ || mv == epoch_) break;
-    mu = epoch_;
-    mv = epoch_;
-    ++w;
-  }
-  const auto window = rest.first(w);
-
-  // Launch the rebuild on a dedicated thread (a pool worker would degrade its
-  // inner parallel_for fan-out to inline). It reads the immutable snapshot,
-  // a copy of the matching, and the oracle — never the live graph.
-  const Graph snapshot = g_.snapshot();
-  const Matching base = m_;
-  Matching rebuilt;
-  std::exception_ptr rebuild_error;
-  std::thread worker([&] {
-    try {
-      rebuilt = static_weak_boost(snapshot, base, oracle_, cfg_.sim).matching;
-    } catch (...) {
-      rebuild_error = std::current_exception();
-    }
-  });
-
-  // Overlapped work: structural resolution + adjacency mutation only. The
-  // matching decisions and oracle maintenance wait for the join below.
-  try {
-    structural_.assign(window.size(), 0);
-    const int window_threads =
-        gated_threads(static_cast<std::int64_t>(window.size()), 32, threads);
-    parallel_for_threads(
-        window_threads, static_cast<std::int64_t>(window.size()),
-        [&](std::int64_t k) {
-          const EdgeUpdate& up = window[static_cast<std::size_t>(k)];
-          if (!up.empty() && !g_.has_edge(up.u, up.v))
-            structural_[static_cast<std::size_t>(k)] = 1;
-        });
-    const std::span<const std::uint8_t> flags(structural_.data(), window.size());
-    g_.apply_structural_disjoint(window, flags, threads);
-  } catch (...) {
-    worker.join();
-    throw;
-  }
-  worker.join();
-  if (rebuild_error) std::rethrow_exception(rebuild_error);
-  m_ = std::move(rebuilt);
-
-  // Deferred maintenance and commits, serial in update order — the final
-  // state equals the sequential rebuild-then-apply loop exactly.
-  const std::span<const std::uint8_t> flags(structural_.data(), window.size());
-  oracle_.on_batch(window, flags, threads);
-  for (std::size_t k = 0; k < window.size(); ++k) {
-    ++updates_;
-    ++since_rebuild_;
-    const EdgeUpdate& up = window[k];
-    if (!up.empty() && structural_[k] && m_.is_free(up.u) && m_.is_free(up.v))
-      m_.add(up.u, up.v);
-  }
-  return w;
+  core_.apply(update);
 }
 
 void DynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
-  for (const EdgeUpdate& up : batch)
-    BMF_REQUIRE(up.empty() || (up.u >= 0 && up.u < g_.num_vertices() && up.v >= 0 &&
-                               up.v < g_.num_vertices() && up.u != up.v),
-                "DynamicMatcher::apply_batch: invalid update");
-  const int threads = ThreadPool::resolve_threads(cfg_.threads);
-  if (threads <= 1) {
-    // The batch engine only buys anything with real concurrency; the serial
-    // loop is the reference semantics.
-    for (const EdgeUpdate& up : batch) apply(up);
-    return;
-  }
-  std::size_t i = 0;
-  while (i < batch.size()) {
-    if (is_heavy(batch[i])) {
-      const std::size_t run = heavy_run_length(batch.subspan(i));
-      if (run >= 2) {
-        i += apply_heavy_run(batch.subspan(i, run), threads);
-      } else {
-        // An isolated heavy deletion: the reservation machinery buys nothing.
-        apply(batch[i]);
-        ++i;
-      }
-      continue;
-    }
-    const std::size_t len = light_prefix_length(batch.subspan(i));
-    const PrefixOutcome got = apply_light_prefix(batch.subspan(i, len), threads);
-    i += got.consumed;
-    if (got.fired) {
-      since_rebuild_ = 0;
-      ++rebuilds_;
-      if (cfg_.overlap_rebuild) {
-        i += rebuild_overlapped(batch.subspan(i), threads);
-      } else {
-        rebuild();
-      }
-    }
-  }
-}
-
-void DynamicMatcher::rebuild() {
-  const Graph snapshot = g_.snapshot();
-  WeakBoostResult boosted = static_weak_boost(snapshot, m_, oracle_, cfg_.sim);
-  m_ = std::move(boosted.matching);
-}
-
-std::int64_t DynamicMatcher::rebuild_budget(std::int64_t sz) const {
-  if (cfg_.rebuild_every > 0) return cfg_.rebuild_every;
-  return std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(
-             std::floor(cfg_.eps * static_cast<double>(sz) / 4.0)));
-}
-
-void DynamicMatcher::maybe_rebuild() {
-  if (since_rebuild_ < rebuild_budget(m_.size())) return;
-  since_rebuild_ = 0;
-  ++rebuilds_;
-  rebuild();
+  core_.apply_batch(batch);
 }
 
 Problem1Instance::Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q,

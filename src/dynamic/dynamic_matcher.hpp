@@ -16,75 +16,17 @@
 ///    so a Theorem 6.2 rebuild is triggered on that schedule — O(1/eps)
 ///    rebuilds per Theta(n) updates, each costing poly(1/eps) A_weak calls.
 ///
-/// ## Batched updates and the batch determinism contract
-///
-/// `apply_batch` consumes a whole span of updates at once and is
-/// **bit-identical to the sequential `apply` loop** — same matching (mate by
-/// mate), same graph, same oracle state, same `updates()` / `rebuilds()` /
-/// `weak_calls()` counters — at any `threads` setting, including 1. It gets
-/// its parallelism the way the MPC/CONGEST simulators of PR 1 do (private
-/// slots, ordered merge), in the style of the batch-dynamic literature
-/// (Ghaffari–Trygub 2024):
-///
-///  1. the batch is cut into maximal *conflict-free prefixes*: runs of
-///     updates with pairwise-disjoint endpoints, none of which deletes a
-///     currently matched edge;
-///  2. within a prefix, per-update decisions (does this update toggle the
-///     edge? does this insertion match two free vertices?) read only the
-///     update's own endpoints, which no other prefix member touches — so
-///     they are computed concurrently against the pre-prefix state and equal
-///     the sequential decisions exactly;
-///  3. a serial O(prefix) scan replays the rebuild budget (`since_rebuild`
-///     and |M| evolve deterministically from the decisions) and truncates the
-///     prefix at the first update whose `maybe_rebuild` would fire, so
-///     rebuilds trigger at exactly the sequential update positions — at most
-///     one Theorem 6.2 rebuild is performed per prefix, and a batch no larger
-///     than the rebuild budget performs at most one rebuild total;
-///  4. graph mutations apply concurrently (disjoint adjacency lists), then
-///     matching commits and `WeakOracle::on_batch` maintenance run serially
-///     in update order, then the rebuild (if armed) runs on a snapshot that
-///     contains exactly the updates before the trigger point.
-///
-/// ## Parallel reservation rematch for heavy deletion runs
-///
-/// Deletions of currently matched edges ("heavy" updates) repair by
-/// rematching both freed endpoints with their minimum free neighbor — the
-/// flat sorted adjacency makes `try_match`'s first free neighbor exactly the
-/// minimum one. A run of consecutive heavy deletions with pairwise-disjoint
-/// endpoints no longer serializes: after a worst-case budget replay bounds
-/// the run so no rebuild can fire inside it (|M| drops by at most one per
-/// deletion and the budget is nondecreasing in |M|), the run's edges are
-/// deleted batch-parallel, and every freed endpoint concurrently *reserves*
-/// its ascending list of possibly-free neighbors — vertices free before the
-/// run plus endpoints freed by earlier deletions of the run (the only
-/// vertices that can be free when its turn comes). A barrier later, a serial
-/// commit walks the run in update order and rematches each endpoint with the
-/// first still-free reserved neighbor, which is precisely the sequential
-/// minimum-free-neighbor choice — mate arrays, counters, and rebuild
-/// positions stay bit-identical to the one-at-a-time loop (in the style of
-/// Birn et al. 2013's reservation matching and Ghaffari–Trygub 2024's
-/// deterministic batch commits).
-///
-/// ## Rebuild/update overlap
-///
-/// When a prefix arms a Theorem 6.2 rebuild, the rebuild runs on a dedicated
-/// thread against the immutable `DynGraph` snapshot and a copy of the
-/// matching, while the caller overlaps the *next* conflict-free window of
-/// insertions/no-ops: their structural resolution and adjacency mutations
-/// touch only the live graph, which the rebuild never reads. The window is
-/// bounded by the post-rebuild worst-case budget (boosting never shrinks the
-/// matching, so `rebuild_budget(|M| at arm time) - 1` updates are provably
-/// rebuild-free) and stops at the first deletion (whose heaviness depends on
-/// the rebuild's output). Matching decisions and `WeakOracle::on_batch`
-/// maintenance are deferred until the join, so the oracle is never touched
-/// while rebuild queries are in flight. Disable with
-/// `DynamicMatcherConfig::overlap_rebuild = false`.
-///
-/// Every decision is made against deterministic state and merged in batch
-/// order, so results do not depend on thread scheduling; and because the flat
-/// sorted adjacency of DynGraph pins neighbor-scan order, they do not depend
-/// on the platform's hash order either. tests/test_dynamic_batch.cpp pins
-/// sequential == batched at 1, 2, and 8 threads on randomized streams.
+/// DynamicMatcher is a thin facade: all decision machinery — conflict-free
+/// prefix cutting, rebuild-budget replay, the heavy deletion-run reservation
+/// rematch, and rebuild/update overlap with pre-classified deletion windows —
+/// lives in `DynamicReplayCore` (src/dynamic/replay_core.hpp), instantiated
+/// here over the flat single-node `FlatAdjacencyStore` (a `DynGraph` plus the
+/// borrowed `WeakOracle`). The sharded vertex-partition engine
+/// (sharded_matcher.hpp) instantiates the same core over its shard slices, so
+/// the bit-identity-critical replay logic has exactly one home. See
+/// replay_core.hpp for the batch determinism contract; it is pinned by the
+/// cross-engine differential harness in tests/test_replay_core.cpp and the
+/// suites in tests/test_dynamic_batch.cpp.
 ///
 /// Problem1Instance exposes the chunk/query interface verbatim for tests and
 /// for composing with other A_weak implementations (e.g. the OMv-backed one);
@@ -94,28 +36,16 @@
 
 #include <cstdint>
 
-#include "dynamic/static_weak.hpp"
+#include "dynamic/replay_core.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "graph/dyn_graph.hpp"
 #include "matching/matching.hpp"
 
 namespace bmf {
 
-struct DynamicMatcherConfig {
-  double eps = 0.25;
-  WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps is forced to eps/2)
-  /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
-  std::int64_t rebuild_every = 0;
-  std::uint64_t seed = 1;
-  /// Thread-pool fan-out for `apply_batch` and for the Theorem 6.2 rebuild's
-  /// internal H'/H'_s discovery (forced into `sim.core.threads`; 0 = hardware
-  /// concurrency, 1 = serial). Results are bit-identical at any setting.
-  int threads = 0;
-  /// Overlap an armed rebuild (dedicated thread, snapshot + matching copy)
-  /// with the next insertion-only window's graph mutations. Only active on
-  /// the batched path with threads > 1; bit-identical either way.
-  bool overlap_rebuild = true;
-};
+/// All knobs are the shared replay-core set (replay_core.hpp) — the sharded
+/// facade derives from the same struct, so the engines cannot drift.
+struct DynamicMatcherConfig : DynamicCoreConfig {};
 
 class DynamicMatcher {
  public:
@@ -128,78 +58,30 @@ class DynamicMatcher {
   void apply(const EdgeUpdate& update);
 
   /// Applies a whole batch of updates; bit-identical to calling `apply` on
-  /// each element in order (see the batch determinism contract above), with
-  /// conflict-free prefixes processed in parallel on `cfg.threads`. The whole
-  /// batch is validated before any mutation.
+  /// each element in order (the batch determinism contract in
+  /// replay_core.hpp), with conflict-free prefixes processed in parallel on
+  /// `cfg.threads`. The whole batch is validated before any mutation.
   void apply_batch(std::span<const EdgeUpdate> batch);
 
-  [[nodiscard]] const Matching& matching() const { return m_; }
-  [[nodiscard]] const DynGraph& graph() const { return g_; }
+  [[nodiscard]] const Matching& matching() const { return core_.matching(); }
+  [[nodiscard]] const DynGraph& graph() const { return store_.graph(); }
 
-  [[nodiscard]] std::int64_t updates() const { return updates_; }
-  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::int64_t updates() const { return core_.updates(); }
+  [[nodiscard]] std::int64_t rebuilds() const { return core_.rebuilds(); }
   [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
+  /// Update positions at which rebuilds fired (golden-trace observability).
+  [[nodiscard]] const std::vector<std::int64_t>& rebuild_positions() const {
+    return core_.rebuild_positions();
+  }
+  /// Rebuild-overlap coverage counters (replay_core.hpp).
+  [[nodiscard]] const ReplayOverlapStats& overlap_stats() const {
+    return core_.overlap_stats();
+  }
 
  private:
-  void on_structural_change(Vertex u, Vertex v, bool inserted);
-  void maybe_rebuild();
-  void rebuild();
-  void try_match(Vertex v);
-
-  /// Updates allowed between rebuilds at matching size `sz` — the one
-  /// formula behind both maybe_rebuild() and the batched budget replay (the
-  /// bit-identical contract depends on them agreeing).
-  [[nodiscard]] std::int64_t rebuild_budget(std::int64_t sz) const;
-
-  /// True for a structural deletion of a currently matched edge — the one
-  /// update kind whose repair reads beyond its own endpoints.
-  [[nodiscard]] bool is_heavy(const EdgeUpdate& up) const;
-
-  /// Length of the maximal conflict-free prefix of `rest` (>= 1 unless empty).
-  [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest);
-
-  struct PrefixOutcome {
-    std::size_t consumed = 0;
-    bool fired = false;  ///< a rebuild is armed at the truncation point
-  };
-
-  /// Processes a conflict-free prefix; reports how many updates were
-  /// consumed (the prefix is truncated at the first rebuild trigger) and
-  /// whether the caller must now run a rebuild.
-  PrefixOutcome apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
-
-  /// Length of the maximal run of consecutive heavy deletions of `rest` with
-  /// pairwise-disjoint endpoints (rest[0] must be heavy); records each
-  /// endpoint's deletion index in `heavy_index_` under the current epoch.
-  [[nodiscard]] std::size_t heavy_run_length(std::span<const EdgeUpdate> rest);
-
-  /// Parallel reservation rematch over a heavy run (see the class comment);
-  /// returns how many deletions were consumed (the run is truncated to the
-  /// worst-case rebuild-free bound; 0 forces one serial `apply`).
-  std::size_t apply_heavy_run(std::span<const EdgeUpdate> run, int threads);
-
-  /// Runs the armed rebuild on a dedicated thread while overlapping the next
-  /// insertion-only window of `rest`; returns how many window updates were
-  /// consumed. Caller must have reset `since_rebuild_` / bumped `rebuilds_`.
-  std::size_t rebuild_overlapped(std::span<const EdgeUpdate> rest, int threads);
-
-  DynGraph g_;
   WeakOracle& oracle_;
-  DynamicMatcherConfig cfg_;
-  Matching m_;
-  std::int64_t updates_ = 0;
-  std::int64_t since_rebuild_ = 0;
-  std::int64_t rebuilds_ = 0;
-
-  // Reused apply_batch scratch: endpoint marks (epoch-stamped; 64-bit so the
-  // epoch cannot wrap within a process lifetime), per-update decision slots,
-  // and per-endpoint heavy-run deletion indices (valid where mark_ carries
-  // the current epoch).
-  std::vector<std::uint64_t> mark_;
-  std::uint64_t epoch_ = 0;
-  std::vector<std::uint8_t> structural_;
-  std::vector<std::uint8_t> match_;
-  std::vector<std::int32_t> heavy_index_;
+  FlatAdjacencyStore store_;
+  DynamicReplayCore<FlatAdjacencyStore> core_;
 };
 
 /// Problem 1 (Section 7.2), verbatim: chunks of exactly alpha*n updates, then

@@ -1,0 +1,28 @@
+#include "dynamic/replay_core.hpp"
+
+#include <string>
+
+namespace bmf {
+
+void validate_core_config(const DynamicCoreConfig& cfg, int shards,
+                          const char* who) {
+  const auto fail = [who](const char* what) {
+    throw std::invalid_argument(std::string(who) + ": " + what);
+  };
+  if (!(cfg.eps > 0 && cfg.eps <= 1)) fail("eps out of range (need 0 < eps <= 1)");
+  if (cfg.threads < 0) fail("threads must be >= 0 (0 = hardware concurrency)");
+  if (cfg.rebuild_every < 0) fail("rebuild_every must be >= 0 (0 = adaptive)");
+  if (shards < 1) fail("shards must be >= 1");
+}
+
+DynamicCoreConfig resolve_core_config(DynamicCoreConfig cfg) {
+  // The rebuild engine runs at eps/2 on the shared seed/threads knobs, so
+  // rebuild trajectories line up bit for bit across engines and thread
+  // counts (parallelism never changes results, so forcing it is safe).
+  cfg.sim.core.eps = cfg.eps / 2.0;
+  cfg.sim.core.seed = cfg.seed;
+  cfg.sim.core.threads = cfg.threads;
+  return cfg;
+}
+
+}  // namespace bmf

@@ -1,0 +1,698 @@
+#pragma once
+
+/// The unified dynamic replay core (Theorem 7.1's update loop, one home).
+///
+/// PR 2-4 grew two bit-identity-critical copies of the same decision
+/// machinery: `DynamicMatcher` (flat single-node `DynGraph` adjacency) and
+/// `ShardedDynamicMatcher` (vertex-partitioned shard slices) each carried
+/// their own rebuild-budget replay, conflict-free prefix cutting, heavy
+/// deletion-run reservation rematch, and rebuild arming. Following the
+/// batch-dynamic literature's separation of update-commit discipline from
+/// storage layout (Ghaffari & Trygub 2024; Robinson & Zhu 2025),
+/// `DynamicReplayCore<Store>` is that discipline extracted once, templated
+/// over an **AdjacencyStore policy** that owns the storage layout:
+///
+///  * `FlatAdjacencyStore` (below) — a `DynGraph` plus an external
+///    `WeakOracle`; the single-node engine.
+///  * `ShardedAdjacencyStore` (sharded_matcher.hpp) — per-shard adjacency
+///    slices plus the row-sharded `ShardedMatrixOracle`.
+///
+/// The policy contract an AdjacencyStore must satisfy:
+///
+///   Vertex num_vertices() const;
+///   bool has_edge(Vertex u, Vertex v) const;          // O(log deg)
+///   std::span<const Vertex> neighbors(Vertex) const;  // ascending ids
+///   Graph snapshot() const;                           // == DynGraph order
+///   WeakOracle& oracle();
+///   bool use_batch_engine(int threads) const;
+///   bool toggle(const EdgeUpdate&);   // adjacency + oracle; true iff the
+///                                     // update changed edge presence
+///   // Batched application of a structural subset with pairwise-disjoint
+///   // endpoints (flags[i] != 0 selects); `apply_structural` maintains
+///   // adjacency and oracle together, the split pair defers the oracle for
+///   // the rebuild-overlap path (never touch the oracle while rebuild
+///   // queries are in flight):
+///   void apply_structural(updates, flags, threads);
+///   void apply_adjacency(updates, flags, threads);
+///   void flush_oracle(updates, flags, threads);
+///
+/// Everything else — matching, counters, scratch marks, budget replay, and
+/// every decision sequence — lives here, so the two engines cannot drift:
+/// the determinism contract (bit-identical matchings, graph, rebuild
+/// *positions*, and A_weak call counts versus the sequential `apply` loop at
+/// any threads / shards / batch-size setting) is one implementation pinned by
+/// one differential harness (tests/test_replay_core.cpp).
+///
+/// ## Batched updates (the batch determinism contract)
+///
+/// `apply_batch` cuts the batch into maximal *conflict-free prefixes* (runs
+/// of updates with pairwise-disjoint endpoints, none deleting a currently
+/// matched edge), evaluates per-update decisions concurrently against the
+/// pre-prefix state, replays the rebuild budget serially to truncate the
+/// prefix at the exact sequential trigger position, applies structural
+/// mutations batch-parallel, and commits matching changes serially in update
+/// order. Heavy deletion runs (consecutive matched-edge deletions with
+/// disjoint endpoints) take the parallel reservation rematch: a worst-case
+/// budget replay bounds the run so no rebuild can fire inside it, each freed
+/// endpoint concurrently reserves its ascending possibly-free candidate
+/// list, and a serial in-order commit takes the first still-free candidate —
+/// exactly the sequential minimum-free-neighbor repair.
+///
+/// ## Rebuild/update overlap with pre-classified deletion windows
+///
+/// When a prefix arms a Theorem 6.2 rebuild, the rebuild runs on a dedicated
+/// thread against the immutable snapshot and a copy of the matching while
+/// the caller applies the next conflict-free window's adjacency mutations.
+/// PR 3 stopped that window at the first deletion because a deletion's
+/// heaviness (does it hit a matched edge?) depends on the rebuild's output.
+/// This core instead **pre-classifies deletions against the pre-rebuild
+/// matching**: a deletion predicted light (its edge unmatched before the
+/// rebuild) joins the window — its graph mutation is matching-independent —
+/// and the classification is validated after the join against the rebuilt
+/// matching. Window endpoints are pairwise disjoint and window commits never
+/// touch a deletion's endpoints, so "matched at this deletion's sequential
+/// turn" equals "matched in the rebuilt matching" exactly; the validation
+/// scan is therefore exact. On a misprediction (boosting matched the edge)
+/// the core falls back serially: the structural suffix beyond the
+/// mispredicted deletion is rewound (disjoint endpoints make inverse ops
+/// order-free), the oracle catches up to the sequential point, the validated
+/// prefix commits, the deletion takes the sequential heavy repair, and the
+/// remaining updates re-enter the batch loop — still bit-identical, pinned
+/// by the planted-misprediction tests. `ReplayOverlapStats` counts windows,
+/// overlapped deletions, and mispredictions so tests can assert the path is
+/// genuinely exercised.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dynamic/static_weak.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "graph/dyn_graph.hpp"
+#include "matching/matching.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+
+/// The one config behind every replay-core engine. Facade configs
+/// (`DynamicMatcherConfig`, `ShardedMatcherConfig`) derive from this so the
+/// knobs cannot drift apart or be forwarded by ad-hoc field copies.
+struct DynamicCoreConfig {
+  double eps = 0.25;
+  WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps is forced to eps/2)
+  /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
+  std::int64_t rebuild_every = 0;
+  std::uint64_t seed = 1;
+  /// Thread-pool fan-out for `apply_batch` and for the Theorem 6.2 rebuild's
+  /// internal H'/H'_s discovery (forced into `sim.core.threads`; 0 = hardware
+  /// concurrency, 1 = serial). Results are bit-identical at any setting.
+  int threads = 0;
+  /// Overlap an armed rebuild (dedicated thread, snapshot + matching copy)
+  /// with the next conflict-free window's graph mutations, including
+  /// predicted-light deletions. Only active on the batched path with
+  /// threads > 1; bit-identical either way.
+  bool overlap_rebuild = true;
+};
+
+/// Validates the shared knobs (and the shard count, for sharded engines;
+/// pass shards = 1 otherwise). Throws std::invalid_argument; `who` prefixes
+/// the message. shards > n is legal — trailing shards own empty ranges.
+void validate_core_config(const DynamicCoreConfig& cfg, int shards, const char* who);
+
+/// `cfg` with the rebuild simulation forced onto the shared eps/seed/threads
+/// knobs, so rebuild trajectories line up bit for bit across engines.
+[[nodiscard]] DynamicCoreConfig resolve_core_config(DynamicCoreConfig cfg);
+
+/// Coverage counters for the rebuild-overlap path (test observability; they
+/// are deterministic for a fixed stream x config like every other counter).
+struct ReplayOverlapStats {
+  /// Armed rebuilds that ran on the dedicated overlap thread.
+  std::int64_t overlapped_rebuilds = 0;
+  /// Non-empty update windows applied while a rebuild was in flight.
+  std::int64_t overlap_windows = 0;
+  /// Windows whose consumed part contained at least one deletion.
+  std::int64_t overlap_windows_with_deletions = 0;
+  /// Updates consumed inside overlap windows / deletions among them.
+  std::int64_t overlapped_updates = 0;
+  std::int64_t overlapped_deletions = 0;
+  /// Predicted-light deletions the rebuilt matching proved heavy (each takes
+  /// the serial fixup path).
+  std::int64_t deletion_mispredictions = 0;
+};
+
+/// The flat single-node AdjacencyStore policy: a `DynGraph` plus a borrowed
+/// `WeakOracle`. `DynamicMatcher` is a facade over
+/// `DynamicReplayCore<FlatAdjacencyStore>`.
+class FlatAdjacencyStore {
+ public:
+  FlatAdjacencyStore(Vertex n, WeakOracle& oracle) : g_(n), oracle_(oracle) {}
+
+  [[nodiscard]] Vertex num_vertices() const { return g_.num_vertices(); }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const { return g_.has_edge(u, v); }
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return g_.neighbors(v);
+  }
+  [[nodiscard]] Graph snapshot() const { return g_.snapshot(); }
+  [[nodiscard]] WeakOracle& oracle() { return oracle_; }
+  [[nodiscard]] bool use_batch_engine(int threads) const { return threads > 1; }
+
+  bool toggle(const EdgeUpdate& up) {
+    if (up.insert) {
+      if (!g_.insert(up.u, up.v)) return false;
+      oracle_.on_insert(up.u, up.v);
+    } else {
+      if (!g_.erase(up.u, up.v)) return false;
+      oracle_.on_erase(up.u, up.v);
+    }
+    return true;
+  }
+
+  void apply_structural(std::span<const EdgeUpdate> updates,
+                        std::span<const std::uint8_t> structural, int threads) {
+    g_.apply_structural_disjoint(updates, structural, threads);
+    oracle_.on_batch(updates, structural, threads);
+  }
+  void apply_adjacency(std::span<const EdgeUpdate> updates,
+                       std::span<const std::uint8_t> structural, int threads) {
+    g_.apply_structural_disjoint(updates, structural, threads);
+  }
+  void flush_oracle(std::span<const EdgeUpdate> updates,
+                    std::span<const std::uint8_t> structural, int threads) {
+    oracle_.on_batch(updates, structural, threads);
+  }
+
+  [[nodiscard]] const DynGraph& graph() const { return g_; }
+
+ private:
+  DynGraph g_;
+  WeakOracle& oracle_;
+};
+
+/// The shared decision machinery. One instance per engine facade; `Store` is
+/// the AdjacencyStore policy (see the file comment for the contract).
+template <class Store>
+class DynamicReplayCore {
+ public:
+  /// `cfg` must already be resolved (resolve_core_config) and validated.
+  DynamicReplayCore(Store& store, const DynamicCoreConfig& cfg)
+      : store_(store),
+        cfg_(cfg),
+        m_(store.num_vertices()),
+        mark_(static_cast<std::size_t>(store.num_vertices()), 0) {}
+
+  void apply(const EdgeUpdate& update) {
+    ++updates_;
+    ++since_rebuild_;
+    if (!update.empty()) {
+      if (store_.toggle(update))
+        on_structural_change(update.u, update.v, update.insert);
+    }
+    maybe_rebuild();
+  }
+
+  void apply_batch(std::span<const EdgeUpdate> batch) {
+    const Vertex n = store_.num_vertices();
+    for (const EdgeUpdate& up : batch)
+      BMF_REQUIRE(up.empty() || (up.u >= 0 && up.u < n && up.v >= 0 && up.v < n &&
+                                 up.u != up.v),
+                  "DynamicReplayCore::apply_batch: invalid update");
+    const int threads = ThreadPool::resolve_threads(cfg_.threads);
+    if (!store_.use_batch_engine(threads)) {
+      // The batch engine only buys anything with real concurrency (or real
+      // shards); the serial loop is the reference semantics.
+      for (const EdgeUpdate& up : batch) apply(up);
+      return;
+    }
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      if (is_heavy(batch[i])) {
+        const std::size_t run = heavy_run_length(batch.subspan(i));
+        if (run >= 2) {
+          i += apply_heavy_run(batch.subspan(i, run), threads);
+        } else {
+          // An isolated heavy deletion: the reservation machinery buys
+          // nothing.
+          apply(batch[i]);
+          ++i;
+        }
+        continue;
+      }
+      const std::size_t len = light_prefix_length(batch.subspan(i));
+      const PrefixOutcome got = apply_light_prefix(batch.subspan(i, len), threads);
+      i += got.consumed;
+      if (got.fired) {
+        arm_rebuild();
+        if (cfg_.overlap_rebuild && threads > 1) {
+          i += rebuild_overlapped(batch.subspan(i), threads);
+        } else {
+          rebuild();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const Matching& matching() const { return m_; }
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+  /// Update position (the value of `updates()`) at which each rebuild fired —
+  /// the golden-trace suites pin these byte for byte.
+  [[nodiscard]] const std::vector<std::int64_t>& rebuild_positions() const {
+    return rebuild_positions_;
+  }
+  [[nodiscard]] const ReplayOverlapStats& overlap_stats() const { return stats_; }
+
+ private:
+  struct PrefixOutcome {
+    std::size_t consumed = 0;
+    bool fired = false;  ///< a rebuild is armed at the truncation point
+  };
+
+  void try_match(Vertex v) {
+    if (!m_.is_free(v)) return;
+    for (Vertex w : store_.neighbors(v)) {
+      if (m_.is_free(w)) {
+        m_.add(v, w);
+        return;
+      }
+    }
+  }
+
+  void on_structural_change(Vertex u, Vertex v, bool inserted) {
+    if (inserted) {
+      if (m_.is_free(u) && m_.is_free(v)) m_.add(u, v);
+    } else if (m_.has(u, v)) {
+      m_.remove_at(u);
+      try_match(u);
+      try_match(v);
+    }
+  }
+
+  /// Updates allowed between rebuilds at matching size `sz` — the one
+  /// formula behind both maybe_rebuild() and the batched budget replays (the
+  /// bit-identical contract depends on them agreeing).
+  [[nodiscard]] std::int64_t rebuild_budget(std::int64_t sz) const {
+    if (cfg_.rebuild_every > 0) return cfg_.rebuild_every;
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::floor(cfg_.eps * static_cast<double>(sz) / 4.0)));
+  }
+
+  void arm_rebuild() {
+    since_rebuild_ = 0;
+    ++rebuilds_;
+    rebuild_positions_.push_back(updates_);
+  }
+
+  void maybe_rebuild() {
+    if (since_rebuild_ < rebuild_budget(m_.size())) return;
+    arm_rebuild();
+    rebuild();
+  }
+
+  void rebuild() {
+    const Graph snapshot = store_.snapshot();
+    WeakBoostResult boosted =
+        static_weak_boost(snapshot, m_, store_.oracle(), cfg_.sim);
+    m_ = std::move(boosted.matching);
+  }
+
+  /// True for a structural deletion of a currently matched edge — the one
+  /// update kind whose repair reads beyond its own endpoints.
+  [[nodiscard]] bool is_heavy(const EdgeUpdate& up) const {
+    // m_ only ever holds live edges, so a matched pair implies edge presence.
+    return !up.empty() && !up.insert && m_.has(up.u, up.v);
+  }
+
+  /// Length of the maximal conflict-free prefix of `rest` (>= 1 unless
+  /// empty).
+  [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest) {
+    ++epoch_;
+    std::size_t j = 0;
+    for (; j < rest.size(); ++j) {
+      const EdgeUpdate& c = rest[j];
+      if (c.empty()) continue;
+      auto& mu = mark_[static_cast<std::size_t>(c.u)];
+      auto& mv = mark_[static_cast<std::size_t>(c.v)];
+      if (mu == epoch_ || mv == epoch_) break;
+      // A matched-edge deletion ends the prefix: its repair reads neighbors'
+      // mates, which concurrent prefix members may be writing. The mate test
+      // is exact here because earlier prefix members cannot touch c's
+      // endpoints.
+      if (is_heavy(c)) break;
+      mu = epoch_;
+      mv = epoch_;
+    }
+    return j;
+  }
+
+  /// Length of the maximal run of consecutive heavy deletions of `rest` with
+  /// pairwise-disjoint endpoints (rest[0] must be heavy); records each
+  /// endpoint's deletion index in `heavy_index_` under the current epoch.
+  [[nodiscard]] std::size_t heavy_run_length(std::span<const EdgeUpdate> rest) {
+    if (heavy_index_.empty()) heavy_index_.assign(mark_.size(), 0);
+    ++epoch_;
+    std::size_t j = 0;
+    for (; j < rest.size(); ++j) {
+      const EdgeUpdate& c = rest[j];
+      if (c.empty() || c.insert) break;
+      auto& mu = mark_[static_cast<std::size_t>(c.u)];
+      auto& mv = mark_[static_cast<std::size_t>(c.v)];
+      if (mu == epoch_ || mv == epoch_) break;
+      // Disjointness keeps m_ exact at c's endpoints, so this test equals the
+      // sequential at-time heaviness; a light deletion ends the run.
+      if (!m_.has(c.u, c.v)) break;
+      mu = epoch_;
+      mv = epoch_;
+      heavy_index_[static_cast<std::size_t>(c.u)] = static_cast<std::int32_t>(j);
+      heavy_index_[static_cast<std::size_t>(c.v)] = static_cast<std::int32_t>(j);
+    }
+    return j;
+  }
+
+  /// Parallel reservation rematch over a heavy run (see the file comment);
+  /// returns how many deletions were consumed (the run is truncated to the
+  /// worst-case rebuild-free bound; 0 forces one serial `apply`).
+  std::size_t apply_heavy_run(std::span<const EdgeUpdate> run, int threads) {
+    // Worst-case budget replay: |M| drops by at most one per deletion and
+    // rebuild_budget is nondecreasing in |M|, so while
+    // since_rebuild_ + i < rebuild_budget(|M| - i) no rebuild can fire at
+    // update i for ANY rematch outcome — exactly where the sequential loop
+    // cannot fire either. Truncate the run to that provably rebuild-free
+    // bound.
+    const std::int64_t sz0 = m_.size();
+    std::int64_t safe = 0;
+    while (safe < static_cast<std::int64_t>(run.size()) &&
+           since_rebuild_ + safe + 1 < rebuild_budget(sz0 - (safe + 1)))
+      ++safe;
+    if (safe == 0) {
+      // The very next deletion may fire a rebuild; take the serial path.
+      apply(run[0]);
+      return 1;
+    }
+    run = run.first(static_cast<std::size_t>(safe));
+
+    // Every run member deletes a currently matched (hence present) edge, so
+    // the whole run is structural: delete batch-parallel, maintain the
+    // oracle.
+    structural_.assign(run.size(), 1);
+    const std::span<const std::uint8_t> flags(structural_.data(), run.size());
+    store_.apply_structural(run, flags, threads);
+
+    // Reservation scan (parallel, read-only): endpoint 2i / 2i+1 collects the
+    // ascending list of neighbors that can possibly be free at its commit
+    // turn — free before the run, or freed by an earlier deletion of the run.
+    // Deleting the run's matched edges does not change any other endpoint's
+    // adjacency (endpoints are disjoint), so the post-deletion neighbor scan
+    // equals the sequential at-time scan.
+    std::vector<std::vector<Vertex>> cand(2 * run.size());
+    // Short runs scan inline; the pool round-trip would dominate.
+    const int scan_threads =
+        gated_threads(static_cast<std::int64_t>(run.size()), 8, threads);
+    parallel_for_threads(
+        scan_threads, static_cast<std::int64_t>(2 * run.size()),
+        [&](std::int64_t k) {
+          const auto i = static_cast<std::size_t>(k / 2);
+          const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
+          auto& out = cand[static_cast<std::size_t>(k)];
+          for (Vertex nb : store_.neighbors(x)) {
+            const auto nbi = static_cast<std::size_t>(nb);
+            if (m_.is_free(nb) ||
+                (mark_[nbi] == epoch_ &&
+                 heavy_index_[nbi] < static_cast<std::int32_t>(i)))
+              out.push_back(nb);
+          }
+        });
+
+    // Serial commit in update order: unmatch the pair, then rematch each
+    // freed endpoint with its first still-free reserved neighbor — the
+    // sequential minimum-free-neighbor repair, endpoint for endpoint.
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      m_.remove_at(run[i].u);
+      for (const std::size_t k : {2 * i, 2 * i + 1}) {
+        const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
+        if (!m_.is_free(x)) continue;
+        for (Vertex nb : cand[k]) {
+          if (m_.is_free(nb)) {
+            m_.add(x, nb);
+            break;
+          }
+        }
+      }
+      ++updates_;
+      ++since_rebuild_;
+    }
+    BMF_ASSERT(since_rebuild_ < rebuild_budget(m_.size()));
+    return run.size();
+  }
+
+  /// Processes a conflict-free prefix; reports how many updates were
+  /// consumed (the prefix is truncated at the first rebuild trigger) and
+  /// whether the caller must now arm a rebuild.
+  PrefixOutcome apply_light_prefix(std::span<const EdgeUpdate> prefix,
+                                   int threads) {
+    const auto len = static_cast<std::int64_t>(prefix.size());
+    structural_.assign(prefix.size(), 0);
+    match_.assign(prefix.size(), 0);
+
+    // Decisions read only the update's own endpoints (untouched by the rest
+    // of the prefix), so concurrent evaluation against the pre-prefix state
+    // equals the sequential decisions exactly. Short prefixes evaluate
+    // inline.
+    const int decision_threads = gated_threads(len, 32, threads);
+    parallel_for_threads(decision_threads, len, [&](std::int64_t i) {
+      const auto k = static_cast<std::size_t>(i);
+      const EdgeUpdate& up = prefix[k];
+      if (up.empty()) return;
+      if (up.insert) {
+        if (!store_.has_edge(up.u, up.v)) {
+          structural_[k] = 1;
+          if (m_.is_free(up.u) && m_.is_free(up.v)) match_[k] = 1;
+        }
+      } else {
+        // Matched deletions never enter a prefix, so a structural deletion
+        // here is of an unmatched edge and needs no repair.
+        if (store_.has_edge(up.u, up.v)) structural_[k] = 1;
+      }
+    });
+
+    // Replay the rebuild budget to find where maybe_rebuild() would fire in
+    // the sequential loop; truncate the prefix there (inclusive).
+    std::size_t cut = prefix.size();
+    bool fire = false;
+    {
+      std::int64_t sz = m_.size();
+      std::int64_t since = since_rebuild_;
+      for (std::size_t k = 0; k < prefix.size(); ++k) {
+        ++since;
+        if (match_[k]) ++sz;
+        if (since >= rebuild_budget(sz)) {
+          cut = k + 1;
+          fire = true;
+          break;
+        }
+      }
+    }
+
+    const auto committed = prefix.first(cut);
+    const auto flags = std::span<const std::uint8_t>(structural_).first(cut);
+    store_.apply_structural(committed, flags, threads);
+    for (std::size_t k = 0; k < cut; ++k) {
+      ++updates_;
+      ++since_rebuild_;
+      if (match_[k]) m_.add(prefix[k].u, prefix[k].v);
+    }
+    return {cut, fire};
+  }
+
+  /// Runs the armed rebuild on a dedicated thread while overlapping the next
+  /// conflict-free window of `rest` — insertions, no-ops, and deletions
+  /// pre-classified light against the pre-rebuild matching (see the file
+  /// comment); returns how many window updates were consumed. Caller must
+  /// have called arm_rebuild().
+  std::size_t rebuild_overlapped(std::span<const EdgeUpdate> rest, int threads) {
+    // The window is bounded by the worst-case post-rebuild budget: boosting
+    // never shrinks the matching and (predictions holding) the window's
+    // deletions are light, so |M| stays >= its arm-time size and the first
+    // rebuild_budget(|M| at arm) - 1 updates after the rebuild are provably
+    // rebuild-free. A predicted-heavy deletion stops the window — its repair
+    // depends on the rebuild's output either way.
+    const std::int64_t cap = rebuild_budget(m_.size()) - 1;
+    ++epoch_;
+    std::size_t w = 0;
+    while (w < rest.size() && static_cast<std::int64_t>(w) < cap) {
+      const EdgeUpdate& c = rest[w];
+      if (c.empty()) {
+        ++w;
+        continue;
+      }
+      auto& mu = mark_[static_cast<std::size_t>(c.u)];
+      auto& mv = mark_[static_cast<std::size_t>(c.v)];
+      if (mu == epoch_ || mv == epoch_) break;
+      // Disjointness keeps m_ exact at c's endpoints, so this is exactly
+      // "matched in the pre-rebuild matching".
+      if (!c.insert && m_.has(c.u, c.v)) break;
+      mu = epoch_;
+      mv = epoch_;
+      ++w;
+    }
+    const auto window = rest.first(w);
+    if (window.empty()) {
+      // Nothing to overlap (the rebuild fired at the batch's end, or the
+      // next update conflicts immediately): the dedicated thread would only
+      // add spawn/join latency. Same boost call, bit-identical either way.
+      rebuild();
+      return 0;
+    }
+
+    // Launch the rebuild on a dedicated thread (a pool worker would degrade
+    // its inner parallel_for fan-out to inline). It reads the immutable
+    // snapshot, a copy of the matching, and the oracle — never the live
+    // adjacency.
+    const Graph snapshot = store_.snapshot();
+    const Matching base = m_;
+    Matching rebuilt;
+    std::exception_ptr rebuild_error;
+    std::thread worker([&] {
+      try {
+        rebuilt =
+            static_weak_boost(snapshot, base, store_.oracle(), cfg_.sim).matching;
+      } catch (...) {
+        rebuild_error = std::current_exception();
+      }
+    });
+    ++stats_.overlapped_rebuilds;
+
+    // Overlapped work: structural resolution + adjacency mutation only (both
+    // matching-independent). Matching decisions and oracle maintenance wait
+    // for the join below.
+    try {
+      structural_.assign(window.size(), 0);
+      const int window_threads =
+          gated_threads(static_cast<std::int64_t>(window.size()), 32, threads);
+      parallel_for_threads(
+          window_threads, static_cast<std::int64_t>(window.size()),
+          [&](std::int64_t k) {
+            const EdgeUpdate& up = window[static_cast<std::size_t>(k)];
+            if (up.empty()) return;
+            if (store_.has_edge(up.u, up.v) != up.insert)
+              structural_[static_cast<std::size_t>(k)] = 1;
+          });
+      const std::span<const std::uint8_t> flags(structural_.data(), window.size());
+      store_.apply_adjacency(window, flags, threads);
+    } catch (...) {
+      worker.join();
+      throw;
+    }
+    worker.join();
+    if (rebuild_error) std::rethrow_exception(rebuild_error);
+    m_ = std::move(rebuilt);
+
+    // Validate the light classification against the rebuilt matching. Window
+    // endpoints are pairwise disjoint and commits never touch a deletion's
+    // endpoints, so "matched at this deletion's sequential turn" equals
+    // "matched in the rebuilt matching" — the scan is exact.
+    std::size_t bad = window.size();
+    for (std::size_t k = 0; k < window.size(); ++k) {
+      const EdgeUpdate& up = window[k];
+      if (!up.empty() && !up.insert && structural_[k] && m_.has(up.u, up.v)) {
+        bad = k;
+        break;
+      }
+    }
+
+    const std::span<const std::uint8_t> flags(structural_.data(), window.size());
+    const std::size_t consumed = bad == window.size() ? window.size() : bad + 1;
+    if (bad == window.size()) {
+      // Every classification held: deferred oracle maintenance and serial
+      // commits in update order — the final state equals the sequential
+      // rebuild-then-apply loop exactly.
+      store_.flush_oracle(window, flags, threads);
+      commit_overlap_prefix(window);
+    } else {
+      // Misprediction: the sequential loop would treat window[bad] as a
+      // heavy deletion. Rewind the structural suffix beyond it (those
+      // updates have not "happened" yet; disjoint endpoints make the
+      // inverse ops order-free), catch the oracle up to the sequential
+      // point just after window[bad], commit the validated prefix, and take
+      // the sequential heavy repair — the adjacency now holds exactly the
+      // pre-window state plus structural updates 0..bad, so the repair's
+      // neighbor scans equal the sequential at-time scans.
+      ++stats_.deletion_mispredictions;
+      std::vector<EdgeUpdate> inverse;
+      for (std::size_t k = bad + 1; k < window.size(); ++k)
+        if (structural_[k])
+          inverse.push_back(window[k].insert
+                                ? EdgeUpdate::del(window[k].u, window[k].v)
+                                : EdgeUpdate::ins(window[k].u, window[k].v));
+      const std::vector<std::uint8_t> all(inverse.size(), 1);
+      store_.apply_adjacency(inverse, all, threads);
+      store_.flush_oracle(window.first(bad + 1), flags.first(bad + 1), threads);
+      commit_overlap_prefix(window.first(bad));
+      ++updates_;
+      ++since_rebuild_;
+      m_.remove_at(window[bad].u);
+      try_match(window[bad].u);
+      try_match(window[bad].v);
+      ++stats_.overlapped_updates;
+      ++stats_.overlapped_deletions;
+      // The heavy repair may have shrunk |M| below the cap's assumption, so
+      // the sequential loop's budget check at this position is live again.
+      maybe_rebuild();
+    }
+
+    if (consumed > 0) {
+      ++stats_.overlap_windows;
+      bool saw_deletion = false;
+      for (std::size_t k = 0; k < consumed; ++k)
+        saw_deletion |= !window[k].empty() && !window[k].insert;
+      if (saw_deletion) ++stats_.overlap_windows_with_deletions;
+    }
+    return consumed;
+  }
+
+  /// Serial in-order commits for the consumed part of an overlap window:
+  /// insertions match two free endpoints, validated-light deletions change
+  /// no matching state, every update advances the budget.
+  void commit_overlap_prefix(std::span<const EdgeUpdate> window) {
+    for (std::size_t k = 0; k < window.size(); ++k) {
+      ++updates_;
+      ++since_rebuild_;
+      ++stats_.overlapped_updates;
+      const EdgeUpdate& up = window[k];
+      if (up.empty()) continue;
+      if (up.insert) {
+        if (structural_[k] && m_.is_free(up.u) && m_.is_free(up.v))
+          m_.add(up.u, up.v);
+      } else {
+        ++stats_.overlapped_deletions;
+      }
+    }
+  }
+
+  Store& store_;
+  DynamicCoreConfig cfg_;
+  Matching m_;
+  std::int64_t updates_ = 0;
+  std::int64_t since_rebuild_ = 0;
+  std::int64_t rebuilds_ = 0;
+  std::vector<std::int64_t> rebuild_positions_;
+  ReplayOverlapStats stats_;
+
+  // Reused apply_batch scratch: endpoint marks (epoch-stamped; 64-bit so the
+  // epoch cannot wrap within a process lifetime), per-update decision slots,
+  // and per-endpoint heavy-run deletion indices (valid where mark_ carries
+  // the current epoch).
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint8_t> structural_;
+  std::vector<std::uint8_t> match_;
+  std::vector<std::int32_t> heavy_index_;
+};
+
+}  // namespace bmf

@@ -1,7 +1,7 @@
 #include "dynamic/sharded_matcher.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
@@ -149,53 +149,42 @@ WeakQueryResult ShardedMatrixOracle::query_cover_impl(
   return greedy(s_plus, avail, /*consume_plus=*/false, delta);
 }
 
-// ----------------------------------------------------- ShardedDynamicMatcher
+// ----------------------------------------------------- ShardedAdjacencyStore
 
-ShardedDynamicMatcher::ShardedDynamicMatcher(Vertex n,
-                                             const ShardedMatcherConfig& cfg)
-    : part_(n, cfg.shards),
-      slices_(static_cast<std::size_t>(cfg.shards)),
-      oracle_(n, cfg.shards, cfg.threads),
-      cfg_(cfg),
-      m_(n),
-      mark_(static_cast<std::size_t>(n), 0) {
-  BMF_REQUIRE(cfg.eps > 0 && cfg.eps <= 1, "ShardedDynamicMatcher: eps out of range");
-  BMF_REQUIRE(cfg.shards >= 1, "ShardedDynamicMatcher: shards must be >= 1");
-  for (int s = 0; s < cfg.shards; ++s)
+ShardedAdjacencyStore::ShardedAdjacencyStore(const VertexPartition& part,
+                                             ShardedMatrixOracle& oracle)
+    : part_(part), slices_(static_cast<std::size_t>(part.shards())),
+      oracle_(oracle) {
+  for (int s = 0; s < part_.shards(); ++s)
     slices_[static_cast<std::size_t>(s)].resize(
         static_cast<std::size_t>(part_.size(s)));
-  // Same forcing as DynamicMatcher: the rebuild engine runs at eps/2 on the
-  // shared threads knob, so rebuild trajectories line up bit for bit.
-  cfg_.sim.core.eps = cfg.eps / 2.0;
-  cfg_.sim.core.seed = cfg.seed;
-  cfg_.sim.core.threads = cfg.threads;
 }
 
-std::vector<Vertex>& ShardedDynamicMatcher::row(Vertex v) {
+std::vector<Vertex>& ShardedAdjacencyStore::row(Vertex v) {
   const int s = part_.owner(v);
   return slices_[static_cast<std::size_t>(s)]
                 [static_cast<std::size_t>(v - part_.begin(s))];
 }
 
-const std::vector<Vertex>& ShardedDynamicMatcher::row(Vertex v) const {
+const std::vector<Vertex>& ShardedAdjacencyStore::row(Vertex v) const {
   const int s = part_.owner(v);
   return slices_[static_cast<std::size_t>(s)]
                 [static_cast<std::size_t>(v - part_.begin(s))];
 }
 
-void ShardedDynamicMatcher::link(Vertex u, Vertex v) {
+void ShardedAdjacencyStore::link(Vertex u, Vertex v) {
   auto& a = row(u);
   a.insert(std::lower_bound(a.begin(), a.end(), v), v);
 }
 
-void ShardedDynamicMatcher::unlink(Vertex u, Vertex v) {
+void ShardedAdjacencyStore::unlink(Vertex u, Vertex v) {
   auto& a = row(u);
   const auto it = std::lower_bound(a.begin(), a.end(), v);
   BMF_ASSERT(it != a.end() && *it == v);
   a.erase(it);
 }
 
-bool ShardedDynamicMatcher::has_edge(Vertex u, Vertex v) const {
+bool ShardedAdjacencyStore::has_edge(Vertex u, Vertex v) const {
   if (u < 0 || v < 0 || u >= part_.num_vertices() || v >= part_.num_vertices() ||
       u == v)
     return false;
@@ -203,11 +192,7 @@ bool ShardedDynamicMatcher::has_edge(Vertex u, Vertex v) const {
   return std::binary_search(a.begin(), a.end(), v);
 }
 
-std::span<const Vertex> ShardedDynamicMatcher::neighbors(Vertex v) const {
-  return row(v);
-}
-
-Graph ShardedDynamicMatcher::snapshot() const {
+Graph ShardedAdjacencyStore::snapshot() const {
   GraphBuilder b(part_.num_vertices());
   for (Vertex u = 0; u < part_.num_vertices(); ++u)
     for (Vertex v : row(u))
@@ -215,7 +200,27 @@ Graph ShardedDynamicMatcher::snapshot() const {
   return b.build();
 }
 
-void ShardedDynamicMatcher::apply_graph_ops(const RoutedOps& ops, int threads) {
+bool ShardedAdjacencyStore::toggle(const EdgeUpdate& up) {
+  const Vertex n = part_.num_vertices();
+  BMF_REQUIRE(up.u >= 0 && up.u < n && up.v >= 0 && up.v < n && up.u != up.v,
+              "ShardedDynamicMatcher: invalid edge update");
+  if (up.insert) {
+    if (has_edge(up.u, up.v)) return false;
+    link(up.u, up.v);
+    link(up.v, up.u);
+    ++m_edges_;
+    oracle_.on_insert(up.u, up.v);
+  } else {
+    if (!has_edge(up.u, up.v)) return false;
+    unlink(up.u, up.v);
+    unlink(up.v, up.u);
+    --m_edges_;
+    oracle_.on_erase(up.u, up.v);
+  }
+  return true;
+}
+
+void ShardedAdjacencyStore::apply_graph_ops(const RoutedOps& ops, int threads) {
   // Each shard replays the directed copies it owns in update order; shards
   // own disjoint row sets, so the concurrent replay is race-free and equals
   // the serial one.
@@ -232,26 +237,57 @@ void ShardedDynamicMatcher::apply_graph_ops(const RoutedOps& ops, int threads) {
   m_edges_ += ops.edge_delta;
 }
 
-void ShardedDynamicMatcher::try_match(Vertex v) {
-  if (!m_.is_free(v)) return;
-  for (Vertex w : row(v)) {
-    if (m_.is_free(w)) {
-      m_.add(v, w);
-      return;
-    }
-  }
+void ShardedAdjacencyStore::apply_structural(
+    std::span<const EdgeUpdate> updates, std::span<const std::uint8_t> structural,
+    int threads) {
+  // Route once; the op lists feed both the adjacency slices and the oracle
+  // row ranges.
+  const RoutedOps ops = route_structural_ops(part_, updates, structural);
+  apply_graph_ops(ops, threads);
+  oracle_.apply_ops(ops, threads);
 }
 
-void ShardedDynamicMatcher::on_structural_change(Vertex u, Vertex v,
-                                                 bool inserted) {
-  if (inserted) {
-    if (m_.is_free(u) && m_.is_free(v)) m_.add(u, v);
-  } else if (m_.has(u, v)) {
-    m_.remove_at(u);
-    try_match(u);
-    try_match(v);
-  }
+void ShardedAdjacencyStore::apply_adjacency(
+    std::span<const EdgeUpdate> updates, std::span<const std::uint8_t> structural,
+    int threads) {
+  RoutedOps ops = route_structural_ops(part_, updates, structural);
+  apply_graph_ops(ops, threads);
+  // Keep the routing for the deferred flush_oracle over the same spans (the
+  // rebuild-overlap path), so the common window routes once like
+  // apply_structural does.
+  pending_oracle_route_ = {updates.data(), structural.data(), updates.size(),
+                           std::move(ops)};
 }
+
+void ShardedAdjacencyStore::flush_oracle(std::span<const EdgeUpdate> updates,
+                                         std::span<const std::uint8_t> structural,
+                                         int threads) {
+  CachedRoute cached = std::exchange(pending_oracle_route_, {});
+  if (cached.updates == updates.data() && cached.flags == structural.data() &&
+      cached.count == updates.size()) {
+    oracle_.apply_ops(cached.ops, threads);
+    return;
+  }
+  oracle_.apply_ops(route_structural_ops(part_, updates, structural), threads);
+}
+
+// ----------------------------------------------------- ShardedDynamicMatcher
+
+namespace {
+
+const ShardedMatcherConfig& validated(const ShardedMatcherConfig& cfg) {
+  validate_core_config(cfg, cfg.shards, "ShardedDynamicMatcher");
+  return cfg;
+}
+
+}  // namespace
+
+ShardedDynamicMatcher::ShardedDynamicMatcher(Vertex n,
+                                             const ShardedMatcherConfig& cfg)
+    : part_(n, validated(cfg).shards),
+      oracle_(n, cfg.shards, cfg.threads),
+      store_(part_, oracle_),
+      core_(store_, resolve_core_config(cfg)) {}
 
 void ShardedDynamicMatcher::insert(Vertex u, Vertex v) {
   apply(EdgeUpdate::ins(u, v));
@@ -262,246 +298,11 @@ void ShardedDynamicMatcher::erase(Vertex u, Vertex v) {
 }
 
 void ShardedDynamicMatcher::apply(const EdgeUpdate& update) {
-  ++updates_;
-  ++since_rebuild_;
-  if (!update.empty()) {
-    const Vertex n = part_.num_vertices();
-    BMF_REQUIRE(update.u >= 0 && update.u < n && update.v >= 0 && update.v < n &&
-                    update.u != update.v,
-                "ShardedDynamicMatcher: invalid edge update");
-    if (update.insert) {
-      if (!has_edge(update.u, update.v)) {
-        link(update.u, update.v);
-        link(update.v, update.u);
-        ++m_edges_;
-        oracle_.on_insert(update.u, update.v);
-        on_structural_change(update.u, update.v, true);
-      }
-    } else {
-      if (has_edge(update.u, update.v)) {
-        unlink(update.u, update.v);
-        unlink(update.v, update.u);
-        --m_edges_;
-        oracle_.on_erase(update.u, update.v);
-        on_structural_change(update.u, update.v, false);
-      }
-    }
-  }
-  maybe_rebuild();
-}
-
-bool ShardedDynamicMatcher::is_heavy(const EdgeUpdate& up) const {
-  return !up.empty() && !up.insert && m_.has(up.u, up.v);
-}
-
-std::size_t ShardedDynamicMatcher::light_prefix_length(
-    std::span<const EdgeUpdate> rest) {
-  ++epoch_;
-  std::size_t j = 0;
-  for (; j < rest.size(); ++j) {
-    const EdgeUpdate& c = rest[j];
-    if (c.empty()) continue;
-    auto& mu = mark_[static_cast<std::size_t>(c.u)];
-    auto& mv = mark_[static_cast<std::size_t>(c.v)];
-    if (mu == epoch_ || mv == epoch_) break;
-    if (is_heavy(c)) break;
-    mu = epoch_;
-    mv = epoch_;
-  }
-  return j;
-}
-
-std::size_t ShardedDynamicMatcher::heavy_run_length(
-    std::span<const EdgeUpdate> rest) {
-  if (heavy_index_.empty()) heavy_index_.assign(mark_.size(), 0);
-  ++epoch_;
-  std::size_t j = 0;
-  for (; j < rest.size(); ++j) {
-    const EdgeUpdate& c = rest[j];
-    if (c.empty() || c.insert) break;
-    auto& mu = mark_[static_cast<std::size_t>(c.u)];
-    auto& mv = mark_[static_cast<std::size_t>(c.v)];
-    if (mu == epoch_ || mv == epoch_) break;
-    if (!m_.has(c.u, c.v)) break;
-    mu = epoch_;
-    mv = epoch_;
-    heavy_index_[static_cast<std::size_t>(c.u)] = static_cast<std::int32_t>(j);
-    heavy_index_[static_cast<std::size_t>(c.v)] = static_cast<std::int32_t>(j);
-  }
-  return j;
-}
-
-std::size_t ShardedDynamicMatcher::apply_heavy_run(std::span<const EdgeUpdate> run,
-                                                   int threads) {
-  // Worst-case budget replay (see DynamicMatcher::apply_heavy_run): truncate
-  // the run so no rebuild can fire inside it for any rematch outcome.
-  const std::int64_t sz0 = m_.size();
-  std::int64_t safe = 0;
-  while (safe < static_cast<std::int64_t>(run.size()) &&
-         since_rebuild_ + safe + 1 < rebuild_budget(sz0 - (safe + 1)))
-    ++safe;
-  if (safe == 0) {
-    apply(run[0]);
-    return 1;
-  }
-  run = run.first(static_cast<std::size_t>(safe));
-
-  structural_.assign(run.size(), 1);
-  const std::span<const std::uint8_t> flags(structural_.data(), run.size());
-  const RoutedOps ops = route_structural_ops(part_, run, flags);
-  apply_graph_ops(ops, threads);
-  oracle_.apply_ops(ops, threads);
-
-  // Reservation scan (parallel, read-only over shard rows): endpoint 2i/2i+1
-  // collects the ascending list of neighbors that can possibly be free at
-  // its commit turn — free before the run, or freed by an earlier deletion.
-  std::vector<std::vector<Vertex>> cand(2 * run.size());
-  const int scan_threads =
-      gated_threads(static_cast<std::int64_t>(run.size()), 8, threads);
-  parallel_for_threads(
-      scan_threads, static_cast<std::int64_t>(2 * run.size()), [&](std::int64_t k) {
-        const auto i = static_cast<std::size_t>(k / 2);
-        const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
-        auto& out = cand[static_cast<std::size_t>(k)];
-        for (Vertex nb : row(x)) {
-          const auto nbi = static_cast<std::size_t>(nb);
-          if (m_.is_free(nb) ||
-              (mark_[nbi] == epoch_ &&
-               heavy_index_[nbi] < static_cast<std::int32_t>(i)))
-            out.push_back(nb);
-        }
-      });
-
-  // Serial coordinator commit in update order: the sequential
-  // minimum-free-neighbor repair, endpoint for endpoint.
-  for (std::size_t i = 0; i < run.size(); ++i) {
-    m_.remove_at(run[i].u);
-    for (const std::size_t k : {2 * i, 2 * i + 1}) {
-      const Vertex x = (k % 2 == 0) ? run[i].u : run[i].v;
-      if (!m_.is_free(x)) continue;
-      for (Vertex nb : cand[k]) {
-        if (m_.is_free(nb)) {
-          m_.add(x, nb);
-          break;
-        }
-      }
-    }
-    ++updates_;
-    ++since_rebuild_;
-  }
-  BMF_ASSERT(since_rebuild_ < rebuild_budget(m_.size()));
-  return run.size();
-}
-
-ShardedDynamicMatcher::PrefixOutcome ShardedDynamicMatcher::apply_light_prefix(
-    std::span<const EdgeUpdate> prefix, int threads) {
-  const auto len = static_cast<std::int64_t>(prefix.size());
-  structural_.assign(prefix.size(), 0);
-  match_.assign(prefix.size(), 0);
-
-  // Per-update decisions read only the update's own endpoints (disjoint
-  // inside a prefix), so concurrent evaluation against the pre-prefix state
-  // equals the sequential decisions exactly.
-  const int decision_threads = gated_threads(len, 32, threads);
-  parallel_for_threads(decision_threads, len, [&](std::int64_t i) {
-    const auto k = static_cast<std::size_t>(i);
-    const EdgeUpdate& up = prefix[k];
-    if (up.empty()) return;
-    if (up.insert) {
-      if (!has_edge(up.u, up.v)) {
-        structural_[k] = 1;
-        if (m_.is_free(up.u) && m_.is_free(up.v)) match_[k] = 1;
-      }
-    } else {
-      if (has_edge(up.u, up.v)) structural_[k] = 1;
-    }
-  });
-
-  // Global rebuild-budget replay: truncate at the first position where the
-  // sequential maybe_rebuild() would fire.
-  std::size_t cut = prefix.size();
-  bool fire = false;
-  {
-    std::int64_t sz = m_.size();
-    std::int64_t since = since_rebuild_;
-    for (std::size_t k = 0; k < prefix.size(); ++k) {
-      ++since;
-      if (match_[k]) ++sz;
-      if (since >= rebuild_budget(sz)) {
-        cut = k + 1;
-        fire = true;
-        break;
-      }
-    }
-  }
-
-  const auto committed = prefix.first(cut);
-  const auto flags = std::span<const std::uint8_t>(structural_).first(cut);
-  const RoutedOps ops = route_structural_ops(part_, committed, flags);
-  apply_graph_ops(ops, threads);
-  oracle_.apply_ops(ops, threads);
-  for (std::size_t k = 0; k < cut; ++k) {
-    ++updates_;
-    ++since_rebuild_;
-    if (match_[k]) m_.add(prefix[k].u, prefix[k].v);
-  }
-  return {cut, fire};
+  core_.apply(update);
 }
 
 void ShardedDynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
-  const Vertex n = part_.num_vertices();
-  for (const EdgeUpdate& up : batch)
-    BMF_REQUIRE(up.empty() || (up.u >= 0 && up.u < n && up.v >= 0 && up.v < n &&
-                               up.u != up.v),
-                "ShardedDynamicMatcher::apply_batch: invalid update");
-  const int threads = ThreadPool::resolve_threads(cfg_.threads);
-  if (threads <= 1 && cfg_.shards <= 1) {
-    // Unsharded and serial: the one-at-a-time loop is the reference
-    // semantics, and the routing machinery buys nothing.
-    for (const EdgeUpdate& up : batch) apply(up);
-    return;
-  }
-  std::size_t i = 0;
-  while (i < batch.size()) {
-    if (is_heavy(batch[i])) {
-      const std::size_t run = heavy_run_length(batch.subspan(i));
-      if (run >= 2) {
-        i += apply_heavy_run(batch.subspan(i, run), threads);
-      } else {
-        apply(batch[i]);
-        ++i;
-      }
-      continue;
-    }
-    const std::size_t len = light_prefix_length(batch.subspan(i));
-    const PrefixOutcome got = apply_light_prefix(batch.subspan(i, len), threads);
-    i += got.consumed;
-    if (got.fired) {
-      since_rebuild_ = 0;
-      ++rebuilds_;
-      rebuild();
-    }
-  }
-}
-
-void ShardedDynamicMatcher::rebuild() {
-  const Graph snap = snapshot();
-  WeakBoostResult boosted = static_weak_boost(snap, m_, oracle_, cfg_.sim);
-  m_ = std::move(boosted.matching);
-}
-
-std::int64_t ShardedDynamicMatcher::rebuild_budget(std::int64_t sz) const {
-  if (cfg_.rebuild_every > 0) return cfg_.rebuild_every;
-  return std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(
-             std::floor(cfg_.eps * static_cast<double>(sz) / 4.0)));
-}
-
-void ShardedDynamicMatcher::maybe_rebuild() {
-  if (since_rebuild_ < rebuild_budget(m_.size())) return;
-  since_rebuild_ = 0;
-  ++rebuilds_;
-  rebuild();
+  core_.apply_batch(batch);
 }
 
 }  // namespace bmf

@@ -14,15 +14,19 @@
 ///  * the corresponding row range of the A_weak adjacency bit-matrix
 ///    (ShardedMatrixOracle below).
 ///
-/// `apply_batch` routes each update's directed copies to their owning
-/// shards — the same resolution discipline as `Problem1Instance::apply_chunk`
-/// (whole chunks resolve with no prefix cuts, so chunks shard cleanly along
-/// their existing boundaries); shards apply local adjacency and bit-row
-/// mutations in parallel, replaying their local op streams in
+/// The storage layout lives in `ShardedAdjacencyStore`, an AdjacencyStore
+/// policy for the shared `DynamicReplayCore` (replay_core.hpp):
+/// `ShardedDynamicMatcher` is a thin facade over
+/// `DynamicReplayCore<ShardedAdjacencyStore>`, so every decision — prefix
+/// cuts, the rebuild-budget replay, heavy-run reservation rematch, rebuild
+/// arming and overlap — is literally the same implementation as
+/// `DynamicMatcher`'s. The store routes each batch's structural directed
+/// copies to their owning shards (the `Problem1Instance::apply_chunk`
+/// resolution discipline — chunks shard cleanly), shards apply local
+/// adjacency and bit-row mutations in parallel replaying their op lists in
 /// (shard-id, update-index) order, while **all matching commits run through
 /// the serial coordinator in update order** and the Theorem 6.2 rebuild
-/// budget is replayed globally. The result is the batch determinism contract
-/// of `DynamicMatcher` extended by a shards axis:
+/// budget is replayed globally:
 ///
 ///   ShardedDynamicMatcher is **bit-identical to DynamicMatcher** —
 ///   matchings (mate by mate), graph, rebuild counts *and positions*, and
@@ -31,9 +35,9 @@
 ///
 /// That holds because every ingredient reproduces the sequential decision
 /// sequence exactly: shard slices store neighbors ascending (so neighbor
-/// scans and `snapshot()` equal DynGraph's), prefixes/heavy runs are cut by
-/// the same rules as DynamicMatcher, and the sharded oracle answers queries
-/// bit-identically to MatrixWeakOracle (below).
+/// scans and `snapshot()` equal DynGraph's), the decision machinery is the
+/// one shared core, and the sharded oracle answers queries bit-identically
+/// to MatrixWeakOracle (below).
 ///
 /// ## Sharded masked row probes (the A_weak serial fraction)
 ///
@@ -64,7 +68,7 @@
 #include <span>
 #include <vector>
 
-#include "dynamic/static_weak.hpp"
+#include "dynamic/replay_core.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "graph/bit_matrix.hpp"
 #include "graph/dyn_graph.hpp"
@@ -174,16 +178,72 @@ class ShardedMatrixOracle final : public WeakOracle {
   std::int64_t words_touched_ = 0;
 };
 
-struct ShardedMatcherConfig {
-  double eps = 0.25;
-  WeakSimConfig sim;  ///< rebuild configuration (sim.core.eps forced to eps/2)
-  /// Updates between rebuilds; 0 = adaptive max(1, floor(eps*|M|/4)).
-  std::int64_t rebuild_every = 0;
-  std::uint64_t seed = 1;
-  /// Thread fan-out for shard-parallel application, probe scans, and the
-  /// rebuild's internal discovery. 0 = hardware concurrency, 1 = serial.
-  int threads = 0;
-  /// Vertex shards (>= 1). Results are bit-identical at any setting.
+/// The vertex-partition AdjacencyStore policy: per-shard sorted adjacency
+/// slices plus the row-sharded oracle. Satisfies the replay_core.hpp store
+/// contract; batched entry points route once and feed both state slices.
+class ShardedAdjacencyStore {
+ public:
+  ShardedAdjacencyStore(const VertexPartition& part, ShardedMatrixOracle& oracle);
+
+  [[nodiscard]] Vertex num_vertices() const { return part_.num_vertices(); }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+  /// Neighbors of v ascending, read from the owning shard's slice —
+  /// identical to DynGraph::neighbors on the same update stream.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const { return row(v); }
+  /// Assembled across shards in vertex order; equals DynGraph::snapshot().
+  [[nodiscard]] Graph snapshot() const;
+  [[nodiscard]] WeakOracle& oracle() { return oracle_; }
+  /// Routing pays off with real shards even on one thread; the serial apply
+  /// loop stays the reference semantics only when both axes are trivial.
+  [[nodiscard]] bool use_batch_engine(int threads) const {
+    return threads > 1 || part_.shards() > 1;
+  }
+
+  bool toggle(const EdgeUpdate& up);
+
+  void apply_structural(std::span<const EdgeUpdate> updates,
+                        std::span<const std::uint8_t> structural, int threads);
+  void apply_adjacency(std::span<const EdgeUpdate> updates,
+                       std::span<const std::uint8_t> structural, int threads);
+  void flush_oracle(std::span<const EdgeUpdate> updates,
+                    std::span<const std::uint8_t> structural, int threads);
+
+  [[nodiscard]] std::int64_t num_edges() const { return m_edges_; }
+
+ private:
+  /// apply_adjacency's routing, kept so a flush_oracle over the *same* spans
+  /// (the deferred-oracle overlap path) reuses it instead of routing again.
+  /// Keyed on span identity: routing depends only on the partition and the
+  /// update list, so a cached entry can never go stale — only miss.
+  struct CachedRoute {
+    const EdgeUpdate* updates = nullptr;
+    const std::uint8_t* flags = nullptr;
+    std::size_t count = 0;
+    RoutedOps ops;
+  };
+
+  [[nodiscard]] std::vector<Vertex>& row(Vertex v);
+  [[nodiscard]] const std::vector<Vertex>& row(Vertex v) const;
+  void link(Vertex u, Vertex v);    // directed copy into owner(u)'s slice
+  void unlink(Vertex u, Vertex v);  // directed copy out of owner(u)'s slice
+
+  /// Applies pre-routed ops to the adjacency slices shard-parallel (each
+  /// shard replays its list in update order) and updates m_edges_.
+  void apply_graph_ops(const RoutedOps& ops, int threads);
+
+  const VertexPartition& part_;
+  /// shard -> local row -> sorted neighbors (the shard's adjacency slice).
+  std::vector<std::vector<std::vector<Vertex>>> slices_;
+  std::int64_t m_edges_ = 0;
+  ShardedMatrixOracle& oracle_;
+  CachedRoute pending_oracle_route_;
+};
+
+/// The shared replay-core knobs plus the shard count (replay_core.hpp; the
+/// flat facade derives from the same struct, so the engines cannot drift).
+struct ShardedMatcherConfig : DynamicCoreConfig {
+  /// Vertex shards (>= 1; > n is legal, trailing shards own empty ranges).
+  /// Results are bit-identical at any setting.
   int shards = 1;
 };
 
@@ -200,68 +260,37 @@ class ShardedDynamicMatcher {
   /// any (shards x threads). The whole batch is validated before mutation.
   void apply_batch(std::span<const EdgeUpdate> batch);
 
-  [[nodiscard]] const Matching& matching() const { return m_; }
+  [[nodiscard]] const Matching& matching() const { return core_.matching(); }
   [[nodiscard]] const VertexPartition& partition() const { return part_; }
   [[nodiscard]] const ShardedMatrixOracle& oracle() const { return oracle_; }
 
   [[nodiscard]] Vertex num_vertices() const { return part_.num_vertices(); }
-  [[nodiscard]] std::int64_t num_edges() const { return m_edges_; }
-  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
-  /// Neighbors of v ascending, read from the owning shard's slice —
-  /// identical to DynGraph::neighbors on the same update stream.
-  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const;
-  /// Assembled across shards in vertex order; equals DynGraph::snapshot().
-  [[nodiscard]] Graph snapshot() const;
+  [[nodiscard]] std::int64_t num_edges() const { return store_.num_edges(); }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const {
+    return store_.has_edge(u, v);
+  }
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return store_.neighbors(v);
+  }
+  [[nodiscard]] Graph snapshot() const { return store_.snapshot(); }
 
-  [[nodiscard]] std::int64_t updates() const { return updates_; }
-  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::int64_t updates() const { return core_.updates(); }
+  [[nodiscard]] std::int64_t rebuilds() const { return core_.rebuilds(); }
   [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
+  /// Update positions at which rebuilds fired (golden-trace observability).
+  [[nodiscard]] const std::vector<std::int64_t>& rebuild_positions() const {
+    return core_.rebuild_positions();
+  }
+  /// Rebuild-overlap coverage counters (replay_core.hpp).
+  [[nodiscard]] const ReplayOverlapStats& overlap_stats() const {
+    return core_.overlap_stats();
+  }
 
  private:
-  // --- shard-owned adjacency slices ---
-  [[nodiscard]] std::vector<Vertex>& row(Vertex v);
-  [[nodiscard]] const std::vector<Vertex>& row(Vertex v) const;
-  void link(Vertex u, Vertex v);    // directed copy into owner(u)'s slice
-  void unlink(Vertex u, Vertex v);  // directed copy out of owner(u)'s slice
-
-  /// Applies pre-routed ops to the adjacency slices shard-parallel (each
-  /// shard replays its list in update order) and updates m_edges_.
-  void apply_graph_ops(const RoutedOps& ops, int threads);
-
-  // --- the DynamicMatcher decision machinery, verbatim semantics ---
-  void on_structural_change(Vertex u, Vertex v, bool inserted);
-  void try_match(Vertex v);
-  void maybe_rebuild();
-  void rebuild();
-  [[nodiscard]] std::int64_t rebuild_budget(std::int64_t sz) const;
-  [[nodiscard]] bool is_heavy(const EdgeUpdate& up) const;
-  [[nodiscard]] std::size_t light_prefix_length(std::span<const EdgeUpdate> rest);
-  [[nodiscard]] std::size_t heavy_run_length(std::span<const EdgeUpdate> rest);
-  std::size_t apply_heavy_run(std::span<const EdgeUpdate> run, int threads);
-
-  struct PrefixOutcome {
-    std::size_t consumed = 0;
-    bool fired = false;
-  };
-  PrefixOutcome apply_light_prefix(std::span<const EdgeUpdate> prefix, int threads);
-
   VertexPartition part_;
-  /// shard -> local row -> sorted neighbors (the shard's adjacency slice).
-  std::vector<std::vector<std::vector<Vertex>>> slices_;
-  std::int64_t m_edges_ = 0;
   ShardedMatrixOracle oracle_;
-  ShardedMatcherConfig cfg_;
-  Matching m_;
-  std::int64_t updates_ = 0;
-  std::int64_t since_rebuild_ = 0;
-  std::int64_t rebuilds_ = 0;
-
-  // apply_batch scratch (same epoch-stamped discipline as DynamicMatcher).
-  std::vector<std::uint64_t> mark_;
-  std::uint64_t epoch_ = 0;
-  std::vector<std::uint8_t> structural_;
-  std::vector<std::uint8_t> match_;
-  std::vector<std::int32_t> heavy_index_;
+  ShardedAdjacencyStore store_;
+  DynamicReplayCore<ShardedAdjacencyStore> core_;
 };
 
 }  // namespace bmf

@@ -196,6 +196,90 @@ std::vector<EdgeUpdate> dyn_shard_partitioned(Vertex n, int shards,
   return updates;
 }
 
+std::vector<EdgeUpdate> dyn_mixed_churn(Vertex n, std::int64_t count, Rng& rng) {
+  BMF_REQUIRE(n >= 8 && count >= 0, "dyn_mixed_churn: need n >= 8");
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::uint64_t> live;
+  std::vector<Edge> live_list;
+  std::deque<Edge> fifo;  // insertion order, for the eviction phase
+
+  const auto emit_insert = [&](Edge e) {
+    live.insert(edge_key(e.u, e.v));
+    live_list.push_back(e);
+    fifo.push_back(e);
+    updates.push_back(EdgeUpdate::ins(e.u, e.v));
+  };
+  const auto forget = [&](Edge e) {
+    live.erase(edge_key(e.u, e.v));
+    for (std::size_t i = 0; i < live_list.size(); ++i) {
+      if (live_list[i].u == e.u && live_list[i].v == e.v) {
+        live_list[i] = live_list.back();
+        live_list.pop_back();
+        break;
+      }
+    }
+    updates.push_back(EdgeUpdate::del(e.u, e.v));
+  };
+
+  const std::int64_t phase_len = std::max<std::int64_t>(8, n / 2);
+  int phase = 0;
+  while (static_cast<std::int64_t>(updates.size()) < count) {
+    const std::int64_t phase_end = std::min<std::int64_t>(
+        count, static_cast<std::int64_t>(updates.size()) + phase_len);
+    switch (phase) {
+      case 0:  // insert-heavy burst
+        while (static_cast<std::int64_t>(updates.size()) < phase_end)
+          emit_insert(random_fresh_edge(n, live, rng));
+        break;
+      case 1: {  // planted pairs, then a consecutive disjoint teardown
+        std::vector<Edge> planted;
+        const Vertex pairs = static_cast<Vertex>(
+            std::min<std::int64_t>(n / 2, (phase_end - static_cast<std::int64_t>(
+                                                           updates.size())) /
+                                              2));
+        for (Vertex i = 0; i < pairs; ++i) {
+          const Edge e{2 * i, 2 * i + 1};
+          if (live.contains(edge_key(e.u, e.v))) continue;
+          emit_insert(e);
+          planted.push_back(e);
+        }
+        rng.shuffle(planted);
+        for (const Edge& e : planted) forget(e);
+        break;
+      }
+      case 2:  // deletion-heavy random mix
+        while (static_cast<std::int64_t>(updates.size()) < phase_end) {
+          if (!live_list.empty() && rng.next_bool(0.7)) {
+            const std::size_t i =
+                static_cast<std::size_t>(rng.next_below(live_list.size()));
+            forget(live_list[i]);
+          } else {
+            emit_insert(random_fresh_edge(n, live, rng));
+          }
+        }
+        break;
+      default:  // oldest-first eviction sweep
+        while (static_cast<std::int64_t>(updates.size()) < phase_end) {
+          while (!fifo.empty() && !live.contains(edge_key(fifo.front().u,
+                                                          fifo.front().v)))
+            fifo.pop_front();
+          if (fifo.empty()) {
+            emit_insert(random_fresh_edge(n, live, rng));
+          } else {
+            const Edge e = fifo.front();
+            fifo.pop_front();
+            forget(e);
+          }
+        }
+        break;
+    }
+    phase = (phase + 1) % 4;
+  }
+  updates.resize(static_cast<std::size_t>(count));
+  return updates;
+}
+
 std::vector<std::vector<EdgeUpdate>> slice_updates(
     std::span<const EdgeUpdate> updates, std::int64_t batch_size) {
   BMF_REQUIRE(batch_size >= 1, "slice_updates: batch_size must be >= 1");

@@ -63,6 +63,17 @@ namespace bmf {
     Vertex n, int shards, std::int64_t count, double cross_fraction,
     double insert_prob, Rng& rng);
 
+/// Mixed-churn stream for the cross-engine differential harness: rotates
+/// through four regimes in fixed-length phases — an insert-heavy burst, a
+/// planted-pair build-up immediately torn down by consecutive matched-edge
+/// deletions (maximal heavy reservation-rematch runs), a deletion-heavy
+/// random mix, and an oldest-first eviction sweep — so one stream exercises
+/// the light-prefix, heavy-run, rebuild-overlap, and eviction paths of the
+/// replay core back to back. Every emitted update is valid and the graph
+/// starts empty.
+[[nodiscard]] std::vector<EdgeUpdate> dyn_mixed_churn(Vertex n, std::int64_t count,
+                                                      Rng& rng);
+
 /// Cuts an update stream into consecutive batches of `batch_size` updates
 /// (the last batch may be shorter). Feeding the slices to
 /// `DynamicMatcher::apply_batch` in order replays the stream exactly.

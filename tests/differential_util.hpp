@@ -1,0 +1,204 @@
+#pragma once
+
+/// Shared cross-engine differential checker for the dynamic replay core.
+///
+/// Every dynamic engine in the repo is a facade over
+/// `DynamicReplayCore<Store>` and promises the same determinism contract:
+/// bit-identical matchings (mate by mate), graph, rebuild counts *and
+/// positions*, and A_weak call counts versus the sequential `apply` loop, at
+/// any (threads x batch-size) for `DynamicMatcher::apply_batch` and any
+/// (shards x threads x batch-size) for `ShardedDynamicMatcher`. This header
+/// is the one checker behind tests/test_replay_core.cpp,
+/// tests/test_dynamic_batch.cpp, tests/test_sharded_dynamic.cpp, and
+/// tests/test_rebuild_parallel.cpp — the grid loops live here so no suite
+/// carries its own copy.
+///
+/// `words_touched` (the oracle cost proxy) is asserted *within* an engine
+/// family: it is exact and invariant across every grid axis for a fixed
+/// oracle type, but the sharded oracle's speculative probes legitimately
+/// scan more words than the serial `MatrixWeakOracle`, so the two families
+/// are never compared to each other.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/sharded_matcher.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/dyn_workload.hpp"
+
+namespace bmf::testdiff {
+
+/// Everything the replay-core determinism contract promises to preserve.
+struct RunResult {
+  std::vector<Vertex> mates;
+  std::int64_t matching_size = 0;
+  std::int64_t updates = 0;
+  std::int64_t rebuilds = 0;
+  std::vector<std::int64_t> rebuild_positions;
+  std::int64_t weak_calls = 0;
+  std::int64_t num_edges = 0;
+  std::vector<Edge> graph_edges;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+template <class Engine>
+RunResult collect_counters(const Engine& dm, Vertex n) {
+  RunResult r;
+  for (Vertex v = 0; v < n; ++v) r.mates.push_back(dm.matching().mate(v));
+  r.matching_size = dm.matching().size();
+  r.updates = dm.updates();
+  r.rebuilds = dm.rebuilds();
+  r.rebuild_positions = dm.rebuild_positions();
+  r.weak_calls = dm.weak_calls();
+  return r;
+}
+
+inline RunResult collect(const DynamicMatcher& dm) {
+  RunResult r = collect_counters(dm, dm.graph().num_vertices());
+  r.num_edges = dm.graph().num_edges();
+  const Graph s = dm.graph().snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+inline RunResult collect(const ShardedDynamicMatcher& dm) {
+  RunResult r = collect_counters(dm, dm.num_vertices());
+  r.num_edges = dm.num_edges();
+  const Graph s = dm.snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+/// The reference semantics: the one-at-a-time sequential apply loop over the
+/// flat engine.
+inline RunResult run_sequential(Vertex n, std::span<const EdgeUpdate> ups,
+                                const DynamicMatcherConfig& cfg,
+                                std::int64_t* words_out = nullptr) {
+  MatrixWeakOracle oracle(n);
+  DynamicMatcher dm(n, oracle, cfg);
+  for (const EdgeUpdate& up : ups) dm.apply(up);
+  if (words_out != nullptr) *words_out = oracle.words_touched();
+  return collect(dm);
+}
+
+/// Batched flat engine at one grid point. Audits words_touched monotonicity
+/// batch over batch and reports the final count; `stats_out` (optional)
+/// receives the rebuild-overlap coverage counters.
+inline RunResult run_flat_batched(Vertex n, std::span<const EdgeUpdate> ups,
+                                  DynamicMatcherConfig cfg, int threads,
+                                  std::int64_t batch_size,
+                                  std::int64_t* words_out = nullptr,
+                                  ReplayOverlapStats* stats_out = nullptr) {
+  // The size gates are perf-only; disable them so the batched paths fan out
+  // on test-sized inputs (the differential suites also run under TSan).
+  const ForceParallelSmallWork force;
+  cfg.threads = threads;
+  MatrixWeakOracle oracle(n);
+  DynamicMatcher dm(n, oracle, cfg);
+  std::int64_t last_words = 0;
+  for (const auto& batch : slice_updates(ups, batch_size)) {
+    dm.apply_batch(batch);
+    EXPECT_GE(oracle.words_touched(), last_words);
+    last_words = oracle.words_touched();
+  }
+  if (words_out != nullptr) *words_out = oracle.words_touched();
+  if (stats_out != nullptr) *stats_out = dm.overlap_stats();
+  return collect(dm);
+}
+
+/// Sharded engine at one grid point. The shared `DynamicCoreConfig` base is
+/// copied wholesale — no ad-hoc field forwarding.
+inline RunResult run_sharded(Vertex n, std::span<const EdgeUpdate> ups,
+                             const DynamicMatcherConfig& base, int shards,
+                             int threads, std::int64_t batch_size,
+                             std::int64_t* words_out = nullptr,
+                             ReplayOverlapStats* stats_out = nullptr) {
+  const ForceParallelSmallWork force;
+  ShardedMatcherConfig cfg;
+  static_cast<DynamicCoreConfig&>(cfg) = base;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  ShardedDynamicMatcher dm(n, cfg);
+  std::int64_t last_words = 0;
+  for (const auto& batch : slice_updates(ups, batch_size)) {
+    dm.apply_batch(batch);
+    EXPECT_GE(dm.oracle().words_touched(), last_words);
+    last_words = dm.oracle().words_touched();
+  }
+  if (words_out != nullptr) *words_out = last_words;
+  if (stats_out != nullptr) *stats_out = dm.overlap_stats();
+  return collect(dm);
+}
+
+/// Grid axes for expect_all_engines_equal. Defaults are the canonical
+/// acceptance grid; suites narrow or widen them per scenario.
+struct GridOptions {
+  std::vector<int> flat_threads = {1, 2, 8};
+  std::vector<std::int64_t> flat_batch_sizes = {64};
+  /// Also run the flat grid with overlap_rebuild = false (both settings are
+  /// bit-identical by contract).
+  bool overlap_axis = false;
+  std::vector<int> shard_counts = {1, 2, 4};
+  std::vector<int> sharded_threads = {1, 2, 8};
+  std::vector<std::int64_t> sharded_batch_sizes = {64};
+  std::int64_t min_rebuilds = 1;
+  /// Skip the sharded half (for suites focused on the flat engine).
+  bool run_sharded_grid = true;
+};
+
+/// The single loop: sequential reference, then every flat (threads x batch)
+/// point, then every sharded (shards x threads x batch) point, asserting the
+/// full RunResult (including rebuild positions) agrees everywhere and that
+/// words_touched is invariant within each engine family.
+inline void expect_all_engines_equal(Vertex n, std::span<const EdgeUpdate> ups,
+                                     const DynamicMatcherConfig& cfg,
+                                     const GridOptions& opt = {}) {
+  std::int64_t flat_words = -1;
+  const RunResult want = run_sequential(n, ups, cfg, &flat_words);
+  EXPECT_GE(want.rebuilds, opt.min_rebuilds)
+      << "stream too small to exercise rebuilds";
+
+  for (const bool overlap : opt.overlap_axis ? std::vector<bool>{true, false}
+                                             : std::vector<bool>{true})
+    for (const int threads : opt.flat_threads)
+      for (const std::int64_t batch_size : opt.flat_batch_sizes) {
+        DynamicMatcherConfig fcfg = cfg;
+        fcfg.overlap_rebuild = overlap && cfg.overlap_rebuild;
+        std::int64_t words = 0;
+        const RunResult got =
+            run_flat_batched(n, ups, fcfg, threads, batch_size, &words);
+        EXPECT_EQ(got, want) << "flat threads=" << threads
+                             << " batch=" << batch_size << " overlap=" << overlap;
+        // One oracle family, one query schedule: the exact words count is
+        // invariant across the whole flat grid including the serial loop.
+        EXPECT_EQ(words, flat_words)
+            << "flat threads=" << threads << " batch=" << batch_size;
+      }
+
+  if (!opt.run_sharded_grid) return;
+  std::int64_t sharded_words = -1;
+  for (const int shards : opt.shard_counts)
+    for (const int threads : opt.sharded_threads)
+      for (const std::int64_t batch_size : opt.sharded_batch_sizes) {
+        std::int64_t words = 0;
+        const RunResult got =
+            run_sharded(n, ups, cfg, shards, threads, batch_size, &words);
+        EXPECT_EQ(got, want) << "shards=" << shards << " threads=" << threads
+                             << " batch=" << batch_size;
+        // The speculative probe schedule is deterministic, so the sharded
+        // words count is invariant across its whole grid (but legitimately
+        // differs from the flat oracle's).
+        if (sharded_words < 0) sharded_words = words;
+        EXPECT_EQ(words, sharded_words)
+            << "shards=" << shards << " threads=" << threads
+            << " batch=" << batch_size;
+      }
+}
+
+}  // namespace bmf::testdiff

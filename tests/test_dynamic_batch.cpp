@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "differential_util.hpp"
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/partial_dynamic.hpp"
 #include "dynamic/weak_oracle.hpp"
@@ -13,76 +14,21 @@
 namespace bmf {
 namespace {
 
-/// Everything the batch determinism contract promises to preserve.
-struct RunResult {
-  std::vector<Vertex> mates;
-  std::int64_t matching_size = 0;
-  std::int64_t updates = 0;
-  std::int64_t rebuilds = 0;
-  std::int64_t weak_calls = 0;
-  std::vector<Edge> graph_edges;
+using testdiff::RunResult;
 
-  friend bool operator==(const RunResult&, const RunResult&) = default;
-};
-
-RunResult collect(const DynamicMatcher& dm) {
-  RunResult r;
-  for (Vertex v = 0; v < dm.graph().num_vertices(); ++v)
-    r.mates.push_back(dm.matching().mate(v));
-  r.matching_size = dm.matching().size();
-  r.updates = dm.updates();
-  r.rebuilds = dm.rebuilds();
-  r.weak_calls = dm.weak_calls();
-  const Graph s = dm.graph().snapshot();
-  r.graph_edges.assign(s.edges().begin(), s.edges().end());
-  return r;
-}
-
-RunResult run_sequential(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
-                         std::uint64_t seed) {
-  MatrixWeakOracle oracle(n);
-  DynamicMatcherConfig cfg;
-  cfg.eps = eps;
-  cfg.seed = seed;
-  DynamicMatcher dm(n, oracle, cfg);
-  for (const EdgeUpdate& up : ups) dm.apply(up);
-  return collect(dm);
-}
-
-RunResult run_batched(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
-                      std::uint64_t seed, int threads, std::int64_t batch_size) {
-  // The size gates are perf-only; disable them so the batched paths fan out
-  // on test-sized inputs (this differential suite also runs under TSan).
-  const ForceParallelSmallWork force;
-  MatrixWeakOracle oracle(n);
-  DynamicMatcherConfig cfg;
-  cfg.eps = eps;
-  cfg.seed = seed;
-  cfg.threads = threads;
-  DynamicMatcher dm(n, oracle, cfg);
-  // Counter-monotonicity audit: the exact words_touched time proxy must
-  // never decrease as batches apply.
-  std::int64_t last_words = 0;
-  for (const auto& batch : slice_updates(ups, batch_size)) {
-    dm.apply_batch(batch);
-    EXPECT_GE(oracle.words_touched(), last_words);
-    last_words = oracle.words_touched();
-  }
-  return collect(dm);
-}
-
+/// The flat half of the shared checker (tests/differential_util.hpp): this
+/// suite focuses on `DynamicMatcher::apply_batch`; the sharded grid runs in
+/// test_sharded_dynamic.cpp and the cross-engine loop in
+/// test_replay_core.cpp.
 void expect_batched_equals_sequential(Vertex n, const std::vector<EdgeUpdate>& ups,
                                       double eps, std::uint64_t seed) {
-  const RunResult want = run_sequential(n, ups, eps, seed);
-  EXPECT_GT(want.rebuilds, 0) << "stream too small to exercise rebuilds";
-  for (const int threads : {1, 2, 8})
-    for (const std::int64_t batch_size :
-         {std::int64_t{1}, std::int64_t{7}, std::int64_t{64},
-          static_cast<std::int64_t>(ups.size())}) {
-      const RunResult got = run_batched(n, ups, eps, seed, threads, batch_size);
-      EXPECT_EQ(got, want) << "threads=" << threads << " batch=" << batch_size
-                           << " seed=" << seed;
-    }
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  testdiff::GridOptions opt;
+  opt.flat_batch_sizes = {1, 7, 64, static_cast<std::int64_t>(ups.size())};
+  opt.run_sharded_grid = false;
+  testdiff::expect_all_engines_equal(n, ups, cfg, opt);
 }
 
 class BatchDifferential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -143,17 +89,17 @@ TEST_P(BatchDifferential, HotBurstBatches) {
   const auto batches = dyn_batched_bursts(48, 8, 50, 0.65, 0.8, rng);
   std::vector<EdgeUpdate> flat;
   for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
-  const RunResult want = run_sequential(48, flat, 0.25, GetParam());
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.seed = GetParam();
+  const RunResult want = testdiff::run_sequential(48, flat, cfg);
   const ForceParallelSmallWork force;
   for (const int threads : {1, 2, 8}) {
     MatrixWeakOracle oracle(48);
-    DynamicMatcherConfig cfg;
-    cfg.eps = 0.25;
-    cfg.seed = GetParam();
     cfg.threads = threads;
     DynamicMatcher dm(48, oracle, cfg);
     for (const auto& b : batches) dm.apply_batch(b);
-    EXPECT_EQ(collect(dm), want) << "threads=" << threads;
+    EXPECT_EQ(testdiff::collect(dm), want) << "threads=" << threads;
   }
 }
 
@@ -172,9 +118,11 @@ TEST(BatchDifferential, EmptyUpdatesAndNoOps) {
   ups.push_back(EdgeUpdate::none());
   ups.push_back(EdgeUpdate::ins(0, 10));   // re-insert
   ups.push_back(EdgeUpdate::ins(10, 11));  // conflicts with the re-insert
-  const RunResult want = run_sequential(20, ups, 0.5, 1);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.5;
+  const RunResult want = testdiff::run_sequential(20, ups, cfg);
   for (const int threads : {1, 2, 8})
-    EXPECT_EQ(run_batched(20, ups, 0.5, 1, threads, 100), want)
+    EXPECT_EQ(testdiff::run_flat_batched(20, ups, cfg, threads, 100), want)
         << "threads=" << threads;
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/framework.hpp"
 #include "core/oracle.hpp"
+#include "differential_util.hpp"
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/static_weak.hpp"
 #include "dynamic/weak_oracle.hpp"
@@ -119,63 +120,19 @@ TEST(RebuildParallel, StaticWeakMatchingIdenticalAcrossThreadCounts) {
 // and the overlapped rebuild.
 // ---------------------------------------------------------------------------
 
-struct RunResult {
-  std::vector<Vertex> mates;
-  std::int64_t matching_size = 0;
-  std::int64_t updates = 0;
-  std::int64_t rebuilds = 0;
-  std::int64_t weak_calls = 0;
-  std::int64_t graph_edges = 0;
+using testdiff::RunResult;
 
-  friend bool operator==(const RunResult&, const RunResult&) = default;
-};
-
-RunResult collect(const DynamicMatcher& dm) {
-  RunResult r;
-  for (Vertex v = 0; v < dm.graph().num_vertices(); ++v)
-    r.mates.push_back(dm.matching().mate(v));
-  r.matching_size = dm.matching().size();
-  r.updates = dm.updates();
-  r.rebuilds = dm.rebuilds();
-  r.weak_calls = dm.weak_calls();
-  r.graph_edges = dm.graph().num_edges();
-  return r;
-}
-
-RunResult run_sequential(Vertex n, const std::vector<EdgeUpdate>& ups,
-                         const DynamicMatcherConfig& base) {
-  MatrixWeakOracle oracle(n);
-  DynamicMatcher dm(n, oracle, base);
-  for (const EdgeUpdate& up : ups) dm.apply(up);
-  return collect(dm);
-}
-
-RunResult run_batched(Vertex n, const std::vector<EdgeUpdate>& ups,
-                      DynamicMatcherConfig cfg, int threads,
-                      std::int64_t batch_size, bool overlap) {
-  const ForceParallelSmallWork force;
-  cfg.threads = threads;
-  cfg.overlap_rebuild = overlap;
-  MatrixWeakOracle oracle(n);
-  DynamicMatcher dm(n, oracle, cfg);
-  for (const auto& batch : slice_updates(ups, batch_size)) dm.apply_batch(batch);
-  return collect(dm);
-}
-
+/// Flat-engine grid with the overlap on/off axis, via the shared checker
+/// (tests/differential_util.hpp).
 void expect_all_modes_equal(Vertex n, const std::vector<EdgeUpdate>& ups,
                             const DynamicMatcherConfig& cfg,
                             std::int64_t min_rebuilds = 1) {
-  const RunResult want = run_sequential(n, ups, cfg);
-  EXPECT_GE(want.rebuilds, min_rebuilds) << "stream too small to exercise rebuilds";
-  for (const bool overlap : {true, false})
-    for (const int threads : {1, 2, 8})
-      for (const std::int64_t batch_size :
-           {std::int64_t{5}, std::int64_t{64},
-            static_cast<std::int64_t>(ups.size())}) {
-        const RunResult got = run_batched(n, ups, cfg, threads, batch_size, overlap);
-        EXPECT_EQ(got, want) << "threads=" << threads << " batch=" << batch_size
-                             << " overlap=" << overlap;
-      }
+  testdiff::GridOptions opt;
+  opt.flat_batch_sizes = {5, 64, static_cast<std::int64_t>(ups.size())};
+  opt.overlap_axis = true;
+  opt.run_sharded_grid = false;
+  opt.min_rebuilds = min_rebuilds;
+  testdiff::expect_all_engines_equal(n, ups, cfg, opt);
 }
 
 class RebuildDifferential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -244,13 +201,13 @@ TEST(RebuildDifferential, HeavyRunCompetingReservations) {
   DynamicMatcherConfig cfg;
   cfg.eps = 0.25;
   cfg.rebuild_every = 1 << 20;  // keep rebuilds out of this micro-scenario
-  const RunResult want = run_sequential(6, ups, cfg);
+  const RunResult want = testdiff::run_sequential(6, ups, cfg);
   EXPECT_EQ(want.mates[1], 4);
   EXPECT_EQ(want.mates[3], 5);
   EXPECT_EQ(want.mates[0], kNoVertex);
   EXPECT_EQ(want.mates[2], kNoVertex);
   for (const int threads : {1, 2, 8})
-    EXPECT_EQ(run_batched(6, ups, cfg, threads, 8, true), want)
+    EXPECT_EQ(testdiff::run_flat_batched(6, ups, cfg, threads, 8), want)
         << "threads=" << threads;
 }
 

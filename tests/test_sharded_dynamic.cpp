@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "differential_util.hpp"
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/sharded_matcher.hpp"
 #include "dynamic/weak_oracle.hpp"
@@ -204,91 +205,22 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ShardedOnBatch, ::testing::Values(1u, 2u, 3u));
 
 // --------------------------------------------------- matcher differential
 
-/// Everything the sharded determinism contract promises to preserve against
-/// DynamicMatcher.
-struct RunResult {
-  std::vector<Vertex> mates;
-  std::int64_t matching_size = 0;
-  std::int64_t updates = 0;
-  std::int64_t rebuilds = 0;
-  std::int64_t weak_calls = 0;
-  std::int64_t num_edges = 0;
-  std::vector<Edge> graph_edges;
+using testdiff::RunResult;
 
-  friend bool operator==(const RunResult&, const RunResult&) = default;
-};
-
-RunResult run_reference(Vertex n, const std::vector<EdgeUpdate>& ups, double eps,
-                        std::uint64_t seed) {
-  MatrixWeakOracle oracle(n);
-  DynamicMatcherConfig cfg;
-  cfg.eps = eps;
-  cfg.seed = seed;
-  DynamicMatcher dm(n, oracle, cfg);
-  for (const EdgeUpdate& up : ups) dm.apply(up);
-  RunResult r;
-  for (Vertex v = 0; v < n; ++v) r.mates.push_back(dm.matching().mate(v));
-  r.matching_size = dm.matching().size();
-  r.updates = dm.updates();
-  r.rebuilds = dm.rebuilds();
-  r.weak_calls = dm.weak_calls();
-  r.num_edges = dm.graph().num_edges();
-  const Graph s = dm.graph().snapshot();
-  r.graph_edges.assign(s.edges().begin(), s.edges().end());
-  return r;
-}
-
-RunResult run_sharded(Vertex n, const std::vector<std::vector<EdgeUpdate>>& batches,
-                      double eps, std::uint64_t seed, int shards, int threads,
-                      std::int64_t* words_out = nullptr) {
-  const ForceParallelSmallWork force;
-  ShardedMatcherConfig cfg;
-  cfg.eps = eps;
-  cfg.seed = seed;
-  cfg.shards = shards;
-  cfg.threads = threads;
-  ShardedDynamicMatcher dm(n, cfg);
-  // Counter-monotonicity audit: the exact words_touched proxy must never
-  // decrease as batches apply.
-  std::int64_t last_words = 0;
-  for (const auto& batch : batches) {
-    dm.apply_batch(batch);
-    EXPECT_GE(dm.oracle().words_touched(), last_words);
-    last_words = dm.oracle().words_touched();
-  }
-  if (words_out != nullptr) *words_out = last_words;
-  RunResult r;
-  for (Vertex v = 0; v < n; ++v) r.mates.push_back(dm.matching().mate(v));
-  r.matching_size = dm.matching().size();
-  r.updates = dm.updates();
-  r.rebuilds = dm.rebuilds();
-  r.weak_calls = dm.weak_calls();
-  r.num_edges = dm.num_edges();
-  const Graph s = dm.snapshot();
-  r.graph_edges.assign(s.edges().begin(), s.edges().end());
-  return r;
-}
-
+/// The sharded half of the shared checker (tests/differential_util.hpp):
+/// this suite focuses on the `ShardedDynamicMatcher` grid; the flat grid
+/// runs in test_dynamic_batch.cpp and the cross-engine loop in
+/// test_replay_core.cpp.
 void expect_sharded_equals_reference(Vertex n, const std::vector<EdgeUpdate>& ups,
                                      double eps, std::uint64_t seed,
                                      std::int64_t batch_size) {
-  const RunResult want = run_reference(n, ups, eps, seed);
-  EXPECT_GT(want.rebuilds, 0) << "stream too small to exercise rebuilds";
-  const auto batches = slice_updates(ups, batch_size);
-  std::int64_t words_reference = -1;
-  for (const int shards : {1, 2, 4})
-    for (const int threads : {1, 2, 8}) {
-      std::int64_t words = 0;
-      const RunResult got =
-          run_sharded(n, batches, eps, seed, shards, threads, &words);
-      EXPECT_EQ(got, want) << "shards=" << shards << " threads=" << threads
-                           << " batch=" << batch_size << " seed=" << seed;
-      // The probe schedule is deterministic, so the exact words count is
-      // invariant across the whole (shards x threads) grid.
-      if (words_reference < 0) words_reference = words;
-      EXPECT_EQ(words, words_reference)
-          << "shards=" << shards << " threads=" << threads;
-    }
+  DynamicMatcherConfig cfg;
+  cfg.eps = eps;
+  cfg.seed = seed;
+  testdiff::GridOptions opt;
+  opt.flat_threads = {};  // sharded focus; the flat grid has its own suite
+  opt.sharded_batch_sizes = {batch_size};
+  testdiff::expect_all_engines_equal(n, ups, cfg, opt);
 }
 
 class ShardedDifferential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -304,11 +236,14 @@ TEST_P(ShardedDifferential, BatchedBurstsHotConflicts) {
   const auto batches = dyn_batched_bursts(48, 6, 50, 0.65, 0.8, rng);
   std::vector<EdgeUpdate> flat;
   for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
-  const RunResult want = run_reference(48, flat, 0.25, GetParam());
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.seed = GetParam();
+  const RunResult want = testdiff::run_sequential(48, flat, cfg);
   EXPECT_GT(want.rebuilds, 0);
   for (const int shards : {1, 2, 4})
     for (const int threads : {1, 2, 8})
-      EXPECT_EQ(run_sharded(48, batches, 0.25, GetParam(), shards, threads), want)
+      EXPECT_EQ(testdiff::run_sharded(48, flat, cfg, shards, threads, 50), want)
           << "shards=" << shards << " threads=" << threads;
 }
 
@@ -330,7 +265,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ShardedDifferential, ::testing::Values(1u, 2u, 3
 TEST(ShardedDifferential, SerialApplyPathMatchesReferenceAcrossShardCounts) {
   Rng rng(11);
   const auto ups = dyn_random_updates(40, 300, 0.7, rng);
-  const RunResult want = run_reference(40, ups, 0.25, 11);
+  DynamicMatcherConfig ref_cfg;
+  ref_cfg.eps = 0.25;
+  ref_cfg.seed = 11;
+  const RunResult want = testdiff::run_sequential(40, ups, ref_cfg);
   for (const int shards : {1, 3, 5}) {
     ShardedMatcherConfig cfg;
     cfg.eps = 0.25;
@@ -357,11 +295,12 @@ TEST(ShardedDifferential, EmptyUpdatesAndNoOps) {
   ups.push_back(EdgeUpdate::none());
   ups.push_back(EdgeUpdate::ins(0, 10));   // re-insert
   ups.push_back(EdgeUpdate::ins(10, 11));  // conflicts with the re-insert
-  const RunResult want = run_reference(20, ups, 0.5, 1);
-  const auto batches = slice_updates(ups, 100);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.5;
+  const RunResult want = testdiff::run_sequential(20, ups, cfg);
   for (const int shards : {1, 2, 4})
     for (const int threads : {1, 2, 8})
-      EXPECT_EQ(run_sharded(20, batches, 0.5, 1, shards, threads), want)
+      EXPECT_EQ(testdiff::run_sharded(20, ups, cfg, shards, threads, 100), want)
           << "shards=" << shards << " threads=" << threads;
 }
 
