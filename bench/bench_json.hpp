@@ -10,8 +10,10 @@
 /// Field conventions: `updates_per_sec` is 0 for static (non-update)
 /// workloads; `rebuild_ms` is the whole-run wall clock in milliseconds
 /// (dominated by Theorem 6.2 rebuilds on the rebuild-heavy workloads, and
-/// exactly the boost wall time for static boosts). Names must not contain
-/// characters needing JSON escapes.
+/// exactly the boost wall time for static boosts); `read_p50_us` /
+/// `read_p99_us` are snapshot-read latency percentiles in microseconds and
+/// are 0 for benches without a read side (only the matching service bench
+/// populates them). Names must not contain characters needing JSON escapes.
 
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +32,8 @@ struct Record {
   double rebuild_ms = 0.0;
   std::int64_t rebuilds = 0;
   bool identical = true;
+  double read_p50_us = 0.0;
+  double read_p99_us = 0.0;
 };
 
 class Writer {
@@ -46,11 +50,12 @@ class Writer {
       std::fprintf(f,
                    "  {\"bench\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
                    "\"updates_per_sec\": %.1f, \"rebuild_ms\": %.3f, "
-                   "\"rebuilds\": %lld, \"identical\": %s}%s\n",
+                   "\"rebuilds\": %lld, \"identical\": %s, "
+                   "\"read_p50_us\": %.3f, \"read_p99_us\": %.3f}%s\n",
                    r.bench.c_str(), r.workload.c_str(), r.threads,
                    r.updates_per_sec, r.rebuild_ms,
                    static_cast<long long>(r.rebuilds),
-                   r.identical ? "true" : "false",
+                   r.identical ? "true" : "false", r.read_p50_us, r.read_p99_us,
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

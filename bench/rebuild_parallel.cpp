@@ -43,12 +43,15 @@ struct RunState {
   friend bool operator==(const RunState&, const RunState&) = default;
 };
 
-RunState state_of(const DynamicMatcher& dm) {
+// Collected through the abstract engine surface — one collector serves any
+// replay-core facade.
+RunState state_of(const ReplayEngine& engine) {
   RunState s;
-  for (Vertex v = 0; v < dm.graph().num_vertices(); ++v)
-    s.mates.push_back(dm.matching().mate(v));
-  s.rebuilds = dm.rebuilds();
-  s.weak_calls = dm.weak_calls();
+  const LiveEngineView view = engine.view();
+  for (Vertex v = 0; v < view.num_vertices(); ++v)
+    s.mates.push_back(view.mate_of(v));
+  s.rebuilds = engine.rebuilds();
+  s.weak_calls = engine.weak_calls();
   return s;
 }
 

@@ -45,23 +45,17 @@ struct RunState {
   friend bool operator==(const RunState&, const RunState&) = default;
 };
 
-RunState state_of_reference(const DynamicMatcher& dm) {
+// One collector over the abstract engine surface serves both the sequential
+// reference and every sharded grid point (it used to be two facade-specific
+// copies).
+RunState state_of(const ReplayEngine& engine) {
   RunState s;
-  for (Vertex v = 0; v < dm.graph().num_vertices(); ++v)
-    s.mates.push_back(dm.matching().mate(v));
-  s.edges = dm.graph().num_edges();
-  s.rebuilds = dm.rebuilds();
-  s.weak_calls = dm.weak_calls();
-  return s;
-}
-
-RunState state_of_sharded(const ShardedDynamicMatcher& dm) {
-  RunState s;
-  for (Vertex v = 0; v < dm.num_vertices(); ++v)
-    s.mates.push_back(dm.matching().mate(v));
-  s.edges = dm.num_edges();
-  s.rebuilds = dm.rebuilds();
-  s.weak_calls = dm.weak_calls();
+  const LiveEngineView view = engine.view();
+  for (Vertex v = 0; v < view.num_vertices(); ++v)
+    s.mates.push_back(view.mate_of(v));
+  s.edges = engine.snapshot().num_edges();
+  s.rebuilds = engine.rebuilds();
+  s.weak_calls = engine.weak_calls();
   return s;
 }
 
@@ -83,7 +77,7 @@ void run_comparison(benchjson::Writer& out, const char* workload,
     Timer t;
     for (const EdgeUpdate& up : updates) dm.apply(up);
     seq_time = t.seconds();
-    reference = state_of_reference(dm);
+    reference = state_of(dm);
   }
 
   Table t({"mode", "time (s)", "updates/sec", "speedup vs seq", "rebuilds",
@@ -102,7 +96,7 @@ void run_comparison(benchjson::Writer& out, const char* workload,
       Timer timer;
       for (const auto& batch : batches) dm.apply_batch(batch);
       const double s = timer.seconds();
-      const RunState got = state_of_sharded(dm);
+      const RunState got = state_of(dm);
       const bool same = got == reference;
       char mode[32];
       std::snprintf(mode, sizeof mode, "s%d x %dT", shards, threads);

@@ -27,6 +27,10 @@ int main() {
   Rng rng(42);
   const auto updates = dyn_sliding_window(n, /*window=*/700, /*count=*/1500, rng);
 
+  // All reads go through the MatchingView API — the same queries a service
+  // snapshot answers, so this dispatcher loop is snapshot-ready as-is.
+  const LiveEngineView assignment = matcher.view();
+
   Timer t;
   std::int64_t step = 0;
   for (const EdgeUpdate& up : updates) {
@@ -38,10 +42,10 @@ int main() {
           "after %6lld updates: matched pairs = %lld (optimal %lld, ratio "
           "%.4f), live edges = %lld\n",
           static_cast<long long>(step),
-          static_cast<long long>(matcher.matching().size()),
+          static_cast<long long>(assignment.size()),
           static_cast<long long>(mu),
           mu > 0 ? static_cast<double>(mu) /
-                       static_cast<double>(matcher.matching().size())
+                       static_cast<double>(assignment.size())
                  : 1.0,
           static_cast<long long>(matcher.graph().num_edges()));
     }
@@ -66,10 +70,11 @@ int main() {
     batch_matcher.apply_batch(tick);
   const double batch_ms = bt.millis();
 
+  const LiveEngineView batch_view = batch_matcher.view();
   bool identical = batch_matcher.rebuilds() == matcher.rebuilds() &&
-                   batch_matcher.matching().size() == matcher.matching().size();
+                   batch_view.size() == assignment.size();
   for (Vertex v = 0; identical && v < n; ++v)
-    identical = batch_matcher.matching().mate(v) == matcher.matching().mate(v);
+    identical = batch_view.mate_of(v) == assignment.mate_of(v);
   std::printf(
       "batch mode (ticks of 200): %.1f ms (%.1f us/update), %lld rebuilds, "
       "bit-identical to one-at-a-time: %s\n",

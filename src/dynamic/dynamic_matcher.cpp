@@ -12,22 +12,6 @@ DynamicMatcher::DynamicMatcher(Vertex n, WeakOracle& oracle,
         return resolve_core_config(cfg);
       }()) {}
 
-void DynamicMatcher::insert(Vertex u, Vertex v) {
-  apply(EdgeUpdate::ins(u, v));
-}
-
-void DynamicMatcher::erase(Vertex u, Vertex v) {
-  apply(EdgeUpdate::del(u, v));
-}
-
-void DynamicMatcher::apply(const EdgeUpdate& update) {
-  core_.apply(update);
-}
-
-void DynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
-  core_.apply_batch(batch);
-}
-
 Problem1Instance::Problem1Instance(Vertex n, WeakOracle& oracle, std::int64_t q,
                                    double lambda, double delta, double alpha)
     : g_(n),

@@ -37,6 +37,7 @@
 #include <cstdint>
 
 #include "dynamic/replay_core.hpp"
+#include "dynamic/replay_engine.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "graph/dyn_graph.hpp"
 #include "matching/matching.hpp"
@@ -47,38 +48,26 @@ namespace bmf {
 /// facade derives from the same struct, so the engines cannot drift.
 struct DynamicMatcherConfig : DynamicCoreConfig {};
 
-class DynamicMatcher {
+/// The whole `ReplayEngine` surface — apply/apply_batch (batch determinism
+/// contract in replay_core.hpp), matching/snapshot/export_snapshot, and the
+/// counters incl. rebuild_positions()/overlap_stats() — is inherited from
+/// `ReplayEngineFacade` (replay_engine.hpp); only the oracle-reading
+/// `weak_calls()` and the flat-store `graph()` accessor live here.
+class DynamicMatcher final
+    : public ReplayEngineFacade<DynamicMatcher, FlatAdjacencyStore> {
  public:
   /// The oracle must be empty-initialized for n vertices; the matcher feeds
   /// it every update (Problem 1: the graph starts empty).
   DynamicMatcher(Vertex n, WeakOracle& oracle, const DynamicMatcherConfig& cfg);
 
-  void insert(Vertex u, Vertex v);
-  void erase(Vertex u, Vertex v);
-  void apply(const EdgeUpdate& update);
-
-  /// Applies a whole batch of updates; bit-identical to calling `apply` on
-  /// each element in order (the batch determinism contract in
-  /// replay_core.hpp), with conflict-free prefixes processed in parallel on
-  /// `cfg.threads`. The whole batch is validated before any mutation.
-  void apply_batch(std::span<const EdgeUpdate> batch);
-
-  [[nodiscard]] const Matching& matching() const { return core_.matching(); }
   [[nodiscard]] const DynGraph& graph() const { return store_.graph(); }
-
-  [[nodiscard]] std::int64_t updates() const { return core_.updates(); }
-  [[nodiscard]] std::int64_t rebuilds() const { return core_.rebuilds(); }
-  [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
-  /// Update positions at which rebuilds fired (golden-trace observability).
-  [[nodiscard]] const std::vector<std::int64_t>& rebuild_positions() const {
-    return core_.rebuild_positions();
-  }
-  /// Rebuild-overlap coverage counters (replay_core.hpp).
-  [[nodiscard]] const ReplayOverlapStats& overlap_stats() const {
-    return core_.overlap_stats();
+  [[nodiscard]] std::int64_t weak_calls() const override {
+    return oracle_.calls();
   }
 
  private:
+  friend class ReplayEngineFacade<DynamicMatcher, FlatAdjacencyStore>;
+
   WeakOracle& oracle_;
   FlatAdjacencyStore store_;
   DynamicReplayCore<FlatAdjacencyStore> core_;

@@ -95,6 +95,7 @@
 #include "dynamic/weak_oracle.hpp"
 #include "graph/dyn_graph.hpp"
 #include "matching/matching.hpp"
+#include "matching/matching_view.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -258,6 +259,17 @@ class DynamicReplayCore {
   }
 
   [[nodiscard]] const Matching& matching() const { return m_; }
+
+  /// Exports the current matching as an immutable epoch snapshot (compact
+  /// mate array + size + the given epoch id + the update count) — the
+  /// publication hook behind `MatchingService`. Pure read: exporting never
+  /// perturbs the replay state, so engines with and without snapshot export
+  /// stay bit-identical (pinned by the differential harness, which exports
+  /// after every run and compares mate for mate).
+  [[nodiscard]] MatchingSnapshot export_snapshot(std::int64_t epoch) const {
+    return MatchingSnapshot::of(m_, epoch, updates_);
+  }
+
   [[nodiscard]] std::int64_t updates() const { return updates_; }
   [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
   /// Update position (the value of `updates()`) at which each rebuild fired —

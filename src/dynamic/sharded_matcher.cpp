@@ -289,20 +289,4 @@ ShardedDynamicMatcher::ShardedDynamicMatcher(Vertex n,
       store_(part_, oracle_),
       core_(store_, resolve_core_config(cfg)) {}
 
-void ShardedDynamicMatcher::insert(Vertex u, Vertex v) {
-  apply(EdgeUpdate::ins(u, v));
-}
-
-void ShardedDynamicMatcher::erase(Vertex u, Vertex v) {
-  apply(EdgeUpdate::del(u, v));
-}
-
-void ShardedDynamicMatcher::apply(const EdgeUpdate& update) {
-  core_.apply(update);
-}
-
-void ShardedDynamicMatcher::apply_batch(std::span<const EdgeUpdate> batch) {
-  core_.apply_batch(batch);
-}
-
 }  // namespace bmf

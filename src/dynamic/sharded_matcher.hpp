@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "dynamic/replay_core.hpp"
+#include "dynamic/replay_engine.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "graph/bit_matrix.hpp"
 #include "graph/dyn_graph.hpp"
@@ -247,24 +248,20 @@ struct ShardedMatcherConfig : DynamicCoreConfig {
   int shards = 1;
 };
 
-class ShardedDynamicMatcher {
+/// The whole `ReplayEngine` surface — apply/apply_batch (bit-identical to
+/// `DynamicMatcher` on the same stream at any shards x threads),
+/// matching/snapshot/export_snapshot, and the counters incl.
+/// rebuild_positions()/overlap_stats() — is inherited from
+/// `ReplayEngineFacade` (replay_engine.hpp); only the oracle-reading
+/// `weak_calls()` and the partition/store extras live here.
+class ShardedDynamicMatcher final
+    : public ReplayEngineFacade<ShardedDynamicMatcher, ShardedAdjacencyStore> {
  public:
   ShardedDynamicMatcher(Vertex n, const ShardedMatcherConfig& cfg);
 
-  void insert(Vertex u, Vertex v);
-  void erase(Vertex u, Vertex v);
-  void apply(const EdgeUpdate& update);
-
-  /// Applies a whole batch; bit-identical to calling `apply` per element in
-  /// order — and to `DynamicMatcher::apply_batch` on the same stream — at
-  /// any (shards x threads). The whole batch is validated before mutation.
-  void apply_batch(std::span<const EdgeUpdate> batch);
-
-  [[nodiscard]] const Matching& matching() const { return core_.matching(); }
   [[nodiscard]] const VertexPartition& partition() const { return part_; }
   [[nodiscard]] const ShardedMatrixOracle& oracle() const { return oracle_; }
 
-  [[nodiscard]] Vertex num_vertices() const { return part_.num_vertices(); }
   [[nodiscard]] std::int64_t num_edges() const { return store_.num_edges(); }
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const {
     return store_.has_edge(u, v);
@@ -272,21 +269,14 @@ class ShardedDynamicMatcher {
   [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
     return store_.neighbors(v);
   }
-  [[nodiscard]] Graph snapshot() const { return store_.snapshot(); }
 
-  [[nodiscard]] std::int64_t updates() const { return core_.updates(); }
-  [[nodiscard]] std::int64_t rebuilds() const { return core_.rebuilds(); }
-  [[nodiscard]] std::int64_t weak_calls() const { return oracle_.calls(); }
-  /// Update positions at which rebuilds fired (golden-trace observability).
-  [[nodiscard]] const std::vector<std::int64_t>& rebuild_positions() const {
-    return core_.rebuild_positions();
-  }
-  /// Rebuild-overlap coverage counters (replay_core.hpp).
-  [[nodiscard]] const ReplayOverlapStats& overlap_stats() const {
-    return core_.overlap_stats();
+  [[nodiscard]] std::int64_t weak_calls() const override {
+    return oracle_.calls();
   }
 
  private:
+  friend class ReplayEngineFacade<ShardedDynamicMatcher, ShardedAdjacencyStore>;
+
   VertexPartition part_;
   ShardedMatrixOracle oracle_;
   ShardedAdjacencyStore store_;

@@ -33,6 +33,10 @@ class Matching {
     return u != v && mate(u) == v;
   }
 
+  /// The raw mate array (index v -> mate(v) or kNoVertex). Snapshot exports
+  /// copy this wholesale, so epoch publication is one O(n) memcpy.
+  [[nodiscard]] std::span<const Vertex> mates() const { return mate_; }
+
   /// Adds {u, v}; both endpoints must currently be free.
   void add(Vertex u, Vertex v);
 

@@ -1,0 +1,100 @@
+#pragma once
+
+/// The unified read API over matchings: `MatchingView`.
+///
+/// Every consumer-facing way of *reading* a matching — a live engine's
+/// mutable `Matching`, or an immutable published epoch snapshot from the
+/// matching service — answers the same three queries: mate-of, is-matched,
+/// and matching-size. `MatchingView` is that query surface, plus an `epoch()`
+/// version stamp so callers can reason about staleness:
+///
+///  * live engine views (`LiveEngineView`, replay_engine.hpp) report the
+///    engine's update count as the epoch — it advances with every applied
+///    update and the answers are exact at read time (single-threaded access
+///    only: a live view reads the writer's mutable state);
+///  * service snapshots (`MatchingSnapshot` below) carry the committed-batch
+///    epoch id assigned at publication — immutable, safe to read from any
+///    number of threads, and stale by at most the service's `max_lag` epochs
+///    (src/service/matching_service.hpp).
+///
+/// Callers written against `MatchingView` are snapshot-ready: moving a read
+/// path from lock-step engine access to wait-free service reads is a
+/// constructor swap, not a rewrite.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmf {
+
+class MatchingView {
+ public:
+  virtual ~MatchingView() = default;
+
+  [[nodiscard]] virtual Vertex num_vertices() const = 0;
+  /// Mate of v, or kNoVertex if v is unmatched.
+  [[nodiscard]] virtual Vertex mate_of(Vertex v) const = 0;
+  /// Matched pairs in the matching.
+  [[nodiscard]] virtual std::int64_t size() const = 0;
+  /// Monotone version stamp (update count for live views, committed-batch id
+  /// for service snapshots).
+  [[nodiscard]] virtual std::int64_t epoch() const = 0;
+
+  [[nodiscard]] bool is_matched(Vertex v) const { return mate_of(v) != kNoVertex; }
+};
+
+/// One published epoch: a compact immutable mate array plus the epoch id and
+/// the number of updates the engine had applied when it was exported.
+/// Instances are shared read-only across reader threads (the service hands
+/// them out via shared_ptr), so nothing here is mutable.
+class MatchingSnapshot final : public MatchingView {
+ public:
+  MatchingSnapshot() = default;
+  MatchingSnapshot(std::vector<Vertex> mates, std::int64_t size,
+                   std::int64_t epoch, std::int64_t updates_applied)
+      : mates_(std::move(mates)),
+        size_(size),
+        epoch_(epoch),
+        updates_applied_(updates_applied) {}
+
+  /// Deep-copies a matching into an immutable snapshot (epoch as given;
+  /// updates_applied for engines that track it, 0 otherwise).
+  static MatchingSnapshot of(const Matching& m, std::int64_t epoch,
+                             std::int64_t updates_applied = 0) {
+    const auto mates = m.mates();
+    return {std::vector<Vertex>(mates.begin(), mates.end()), m.size(), epoch,
+            updates_applied};
+  }
+
+  [[nodiscard]] Vertex num_vertices() const override {
+    return static_cast<Vertex>(mates_.size());
+  }
+  [[nodiscard]] Vertex mate_of(Vertex v) const override {
+    return mates_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::int64_t size() const override { return size_; }
+  [[nodiscard]] std::int64_t epoch() const override { return epoch_; }
+
+  /// Engine update count at export time — the service stress tests use this
+  /// to look up the golden sequential matching this snapshot must equal.
+  [[nodiscard]] std::int64_t updates_applied() const { return updates_applied_; }
+  [[nodiscard]] std::span<const Vertex> mates() const { return mates_; }
+
+  // Not defaulted: that would require comparing the abstract base subobject.
+  friend bool operator==(const MatchingSnapshot& a, const MatchingSnapshot& b) {
+    return a.mates_ == b.mates_ && a.size_ == b.size_ && a.epoch_ == b.epoch_ &&
+           a.updates_applied_ == b.updates_applied_;
+  }
+
+ private:
+  std::vector<Vertex> mates_;
+  std::int64_t size_ = 0;
+  std::int64_t epoch_ = 0;
+  std::int64_t updates_applied_ = 0;
+};
+
+}  // namespace bmf

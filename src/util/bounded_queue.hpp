@@ -1,0 +1,135 @@
+#pragma once
+
+/// Bounded multi-producer / single-consumer ingest queue.
+///
+/// The matching service's front door: any number of client threads `push`
+/// updates, one writer thread `drain`s them in arrival order. The consumer
+/// side is deliberately a *drain* (pop everything queued, up to a cap) rather
+/// than a pop-one: draining is what turns N queued single updates into one
+/// coalesced batch for `apply_batch`, so the queue is the batching boundary.
+///
+/// Implementation: a mutex + two condition variables over a deque. The
+/// contended path is producer vs. the writer's drain — reader threads of the
+/// service never touch the queue, so a blocking implementation here cannot
+/// perturb read-side wait-freedom. Capacity is the backpressure mechanism:
+/// `push` blocks while full (closed-loop clients stall, SSP-style, instead of
+/// growing an unbounded backlog), `try_push` refuses instead (open-loop
+/// clients count the rejection and move on).
+///
+/// Close semantics: after `close()`, pushes fail fast; drains keep returning
+/// queued items until the queue is empty, then return 0 forever — the writer
+/// thread's natural shutdown signal (nothing already accepted is dropped).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace bmf {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    BMF_REQUIRE(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+  }
+
+  /// Blocks while full; returns false iff the queue was closed (the item is
+  /// then dropped).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes every element in order, blocking for space as needed; returns
+  /// false iff the queue closed part-way (remaining elements are dropped).
+  bool push_all(std::span<const T> items) {
+    std::unique_lock lock(mutex_);
+    for (const T& item : items) {
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(item);
+      // Wake the consumer as soon as anything is available — it drains
+      // whatever has arrived, it does not wait for the whole span.
+      not_empty_.notify_one();
+    }
+    return true;
+  }
+
+  /// Non-blocking push; returns false if full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Single-consumer drain: blocks until at least one item is queued (or the
+  /// queue is closed), then moves up to `max_items` into `out` (cleared
+  /// first) in arrival order. Returns out.size(); 0 means closed-and-empty.
+  /// If `backlog` is non-null it receives the queue depth observed at the
+  /// drain (drained items + items left behind) — the service's queue-depth
+  /// stat.
+  std::size_t drain(std::vector<T>& out, std::size_t max_items,
+                    std::size_t* backlog = nullptr) {
+    out.clear();
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (backlog != nullptr) *backlog = items_.size();
+    const std::size_t take = std::min(items_.size(), max_items);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (take > 0) not_full_.notify_all();
+    return take;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked pushers wake and fail,
+  /// drains serve the remaining backlog then return 0. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Instantaneous depth (racy by nature; for stats and tests).
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bmf

@@ -56,6 +56,14 @@ RunResult collect_counters(const Engine& dm, Vertex n) {
   r.rebuilds = dm.rebuilds();
   r.rebuild_positions = dm.rebuild_positions();
   r.weak_calls = dm.weak_calls();
+  // The snapshot export hook is part of the contract the service layer
+  // builds on: an exported snapshot must reproduce the live matching mate by
+  // mate, so pin it at every grid point the differential suites visit.
+  const MatchingSnapshot snap = dm.export_snapshot(r.updates);
+  EXPECT_EQ(std::vector<Vertex>(snap.mates().begin(), snap.mates().end()),
+            r.mates);
+  EXPECT_EQ(snap.size(), r.matching_size);
+  EXPECT_EQ(snap.epoch(), r.updates);
   return r;
 }
 
