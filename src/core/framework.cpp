@@ -281,11 +281,20 @@ void FrameworkDriver::run_augment_loop(StructureForest& forest) {
 
     OracleGraph h;
     h.n = static_cast<std::int32_t>(index.size());
+    // pair_witness is a hash map; emitting its entries in iteration order
+    // would feed the (order-sensitive) oracle a stdlib-dependent edge
+    // sequence. Collect the keys and sort, so the oracle input is a pure
+    // function of the structure graph.
+    std::vector<std::int64_t> keys;
+    keys.reserve(pair_witness.size());
     for (const auto& [key, wx] : pair_witness) {
       (void)wx;
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::int64_t key : keys)
       h.edges.emplace_back(static_cast<std::int32_t>(key >> 31),
                            static_cast<std::int32_t>(key & ((1LL << 31) - 1)));
-    }
     const OracleMatching found = oracle_.find_matching(h);
     ++stats_.ca_iterations;
     ++iterations;
@@ -343,7 +352,10 @@ Matching framework_initial_matching(const Graph& g, MatchingOracle& oracle,
       std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> chunks(
           static_cast<std::size_t>(nchunks));
       const auto total = static_cast<std::int64_t>(edges.size());
-      parallel_for_threads(cfg.threads, nchunks, [&](std::int64_t c) {
+      // filter_threads, not cfg.threads: nchunks > 1 already implies the gate
+      // passed, but the fan-out must route through the gated count so the
+      // size-gate discipline is uniform (and machine-checkable).
+      parallel_for_threads(filter_threads, nchunks, [&](std::int64_t c) {
         const std::int64_t lo = total * c / nchunks;
         const std::int64_t hi = total * (c + 1) / nchunks;
         auto& out = chunks[static_cast<std::size_t>(c)];
@@ -396,7 +408,12 @@ EnsembleResult boost_matching_ensemble(const Graph& g,
   for (auto& s : seeds) s = seeder.next();
 
   std::vector<BoostResult> slots(static_cast<std::size_t>(repetitions));
-  parallel_for_threads(cfg.threads, repetitions, [&](std::int64_t r) {
+  // Each repetition is a full boost run — worth a pool thread whenever there
+  // are at least two; slots are per-repetition, so the fan-out is
+  // output-invariant.
+  const int ensemble_threads =
+      gated_threads(static_cast<std::int64_t>(repetitions), 2, cfg.threads);
+  parallel_for_threads(ensemble_threads, repetitions, [&](std::int64_t r) {
     CoreConfig local = cfg;
     local.seed = seeds[static_cast<std::size_t>(r)];
     local.threads = 1;  // repetitions already occupy the pool; don't nest

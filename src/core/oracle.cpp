@@ -37,6 +37,10 @@ OracleMatching GreedyMatchingOracle::find_impl(const OracleGraph& h) {
 
 namespace {
 
+/// Minimum shuffle-and-scan work (edges x samples) before best-of-k sampling
+/// fans out; below it the pool round-trip dominates the sampling itself.
+constexpr std::int64_t kParallelSampleMinWork = 4096;
+
 /// Greedy maximal matching over the edge permutation drawn from `rng`.
 OracleMatching random_greedy_sample(const OracleGraph& h, Rng& rng) {
   std::vector<std::size_t> order(h.edges.size());
@@ -77,7 +81,12 @@ OracleMatching BestOfKRandomGreedyOracle::find_impl(const OracleGraph& h) {
   for (int s = 0; s < samples_; ++s) sample_rng.push_back(rng_.split());
 
   std::vector<OracleMatching> slots(static_cast<std::size_t>(samples_));
-  parallel_for_threads(threads_, samples_, [&](std::int64_t s) {
+  // Output-invariant gate: the per-sample rngs above were split serially, so
+  // serial and parallel sampling see identical streams.
+  const int sample_threads = gated_threads(
+      static_cast<std::int64_t>(h.edges.size()) * samples_,
+      kParallelSampleMinWork, threads_);
+  parallel_for_threads(sample_threads, samples_, [&](std::int64_t s) {
     slots[static_cast<std::size_t>(s)] =
         random_greedy_sample(h, sample_rng[static_cast<std::size_t>(s)]);
   });

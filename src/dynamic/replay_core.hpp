@@ -87,7 +87,6 @@
 #include <cstdint>
 #include <exception>
 #include <span>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -96,6 +95,7 @@
 #include "graph/dyn_graph.hpp"
 #include "matching/matching.hpp"
 #include "matching/matching_view.hpp"
+#include "util/annotations.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -568,42 +568,57 @@ class DynamicReplayCore {
     // adjacency.
     const Graph snapshot = store_.snapshot();
     const Matching base = m_;
-    Matching rebuilt;
-    std::exception_ptr rebuild_error;
-    std::thread worker([&] {
+    // The rebuild's result crosses the thread boundary through an annotated
+    // slot: the worker computes outside the lock, stores under it; the caller
+    // reads under it strictly after the join. The lock is uncontended — it
+    // exists so the handoff discipline is compile-checked rather than implied
+    // by the join alone.
+    struct OverlapSlot {
+      Mutex mu;
+      Matching rebuilt BMF_GUARDED_BY(mu);
+      std::exception_ptr error BMF_GUARDED_BY(mu);
+    } slot;
+    DedicatedThread worker([&] {
+      Matching boosted;
+      std::exception_ptr err;
       try {
-        rebuilt =
+        boosted =
             static_weak_boost(snapshot, base, store_.oracle(), cfg_.sim).matching;
       } catch (...) {
-        rebuild_error = std::current_exception();
+        err = std::current_exception();
       }
+      const MutexLock lock(slot.mu);
+      slot.rebuilt = std::move(boosted);
+      slot.error = err;
     });
     ++stats_.overlapped_rebuilds;
 
     // Overlapped work: structural resolution + adjacency mutation only (both
     // matching-independent). Matching decisions and oracle maintenance wait
-    // for the join below.
-    try {
-      structural_.assign(window.size(), 0);
-      const int window_threads =
-          gated_threads(static_cast<std::int64_t>(window.size()), 32, threads);
-      parallel_for_threads(
-          window_threads, static_cast<std::int64_t>(window.size()),
-          [&](std::int64_t k) {
-            const EdgeUpdate& up = window[static_cast<std::size_t>(k)];
-            if (up.empty()) return;
-            if (store_.has_edge(up.u, up.v) != up.insert)
-              structural_[static_cast<std::size_t>(k)] = 1;
-          });
-      const std::span<const std::uint8_t> flags(structural_.data(), window.size());
-      store_.apply_adjacency(window, flags, threads);
-    } catch (...) {
-      worker.join();
-      throw;
+    // for the join below. If anything here throws, DedicatedThread joins the
+    // rebuild on unwind before `snapshot`/`base` leave scope.
+    structural_.assign(window.size(), 0);
+    const int window_threads =
+        gated_threads(static_cast<std::int64_t>(window.size()), 32, threads);
+    parallel_for_threads(
+        window_threads, static_cast<std::int64_t>(window.size()),
+        [&](std::int64_t k) {
+          const EdgeUpdate& up = window[static_cast<std::size_t>(k)];
+          if (up.empty()) return;
+          if (store_.has_edge(up.u, up.v) != up.insert)
+            structural_[static_cast<std::size_t>(k)] = 1;
+        });
+    {
+      const std::span<const std::uint8_t> overlap_flags(structural_.data(),
+                                                        window.size());
+      store_.apply_adjacency(window, overlap_flags, threads);
     }
     worker.join();
-    if (rebuild_error) std::rethrow_exception(rebuild_error);
-    m_ = std::move(rebuilt);
+    {
+      const MutexLock lock(slot.mu);
+      if (slot.error) std::rethrow_exception(slot.error);
+      m_ = std::move(slot.rebuilt);
+    }
 
     // Validate the light classification against the rebuilt matching. Window
     // endpoints are pairwise disjoint and commits never touch a deletion's

@@ -23,7 +23,7 @@ void validate_service_config(const ServiceConfig& cfg, const char* who) {
 SnapshotReader::SnapshotReader(MatchingService& service)
     : svc_(&service),
       staleness_hist_(static_cast<std::size_t>(service.cfg_.max_lag) + 2) {
-  std::lock_guard lock(svc_->registry_mutex_);
+  const MutexLock lock(svc_->registry_mutex_);
   svc_->readers_.push_back(this);
 }
 
@@ -31,9 +31,9 @@ SnapshotReader::~SnapshotReader() {
   {
     // Lock order everywhere: registry before stats (stats() nests the same
     // way), so folding the departing reader's counters here cannot deadlock.
-    std::lock_guard registry_lock(svc_->registry_mutex_);
+    const MutexLock registry_lock(svc_->registry_mutex_);
     std::erase(svc_->readers_, this);
-    std::lock_guard stats_lock(svc_->stats_mutex_);
+    const MutexLock stats_lock(svc_->stats_mutex_);
     svc_->wstats_.reads += reads_.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < staleness_hist_.size(); ++b)
       svc_->wstats_.staleness_hist[b] +=
@@ -64,7 +64,7 @@ const MatchingSnapshot& SnapshotReader::refresh() const {
       // an unlocked advance could slip between the stalled writer's predicate
       // check and its wait, losing the wakeup.
       {
-        std::lock_guard lock(svc_->registry_mutex_);
+        const MutexLock lock(svc_->registry_mutex_);
         observed_.store(e_now, std::memory_order_relaxed);
       }
       svc_->stall_cv_.notify_all();
@@ -114,8 +114,12 @@ void MatchingService::start() {
   wstats_.staleness_hist.assign(static_cast<std::size_t>(cfg_.max_lag) + 2, 0);
   // Epoch 0 (the engine's current matching — empty for a fresh engine) is
   // published before the writer exists, so readers always find a snapshot.
-  latest_.store(std::make_shared<const MatchingSnapshot>(
-      engine_->export_snapshot(0)));
+  // Release for uniformity with the publication contract below (any thread
+  // that can reach latest_ was created after this store, so the constructor's
+  // own synchronization already covers it).
+  latest_.store(
+      std::make_shared<const MatchingSnapshot>(engine_->export_snapshot(0)),
+      std::memory_order_release);
   writer_ = std::thread([this] { writer_loop(); });
 }
 
@@ -127,9 +131,10 @@ bool MatchingService::submit(const EdgeUpdate& update) {
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   if (queue_.push(update)) return true;
   submitted_.fetch_sub(1, std::memory_order_acq_rel);
-  {
-    std::lock_guard lock(flush_mutex_);
-  }
+  // The rollback may be what makes a concurrent flush()'s predicate true
+  // (committed_ >= submitted_); bridge through flush_mutex_ so the flusher
+  // cannot be between its check and its wait when we notify.
+  { const MutexLock lock(flush_mutex_); }
   flush_cv_.notify_all();
   return false;
 }
@@ -144,21 +149,32 @@ bool MatchingService::try_submit(const EdgeUpdate& update) {
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   if (queue_.try_push(update)) return true;
   submitted_.fetch_sub(1, std::memory_order_acq_rel);
+  // Same wakeup obligation as submit()'s refusal path: the annotation pass
+  // caught this rollback not notifying, which could leave a concurrent
+  // flush() waiting for a count that will never commit.
+  { const MutexLock lock(flush_mutex_); }
+  flush_cv_.notify_all();
   return false;
 }
 
 void MatchingService::flush() {
-  // Everything counted at entry must commit; later submissions may or may
-  // not be included (committed_ only grows).
+  // Everything counted at entry must commit — unless it was refused and
+  // rolled back. committed_ only grows, and committed_ <= accepted <=
+  // submitted_ always holds, so `committed_ >= submitted_` means every update
+  // accepted so far (a superset of those accepted before this call) has
+  // committed. Without that second disjunct, a submit whose push is refused
+  // after we captured `target` would leave target forever unreachable.
   const std::int64_t target = submitted_.load(std::memory_order_acquire);
-  std::unique_lock lock(flush_mutex_);
-  flush_cv_.wait(lock, [&] {
-    return committed_.load(std::memory_order_acquire) >= target;
-  });
+  const MutexLock lock(flush_mutex_);
+  for (;;) {
+    const std::int64_t c = committed_.load(std::memory_order_acquire);
+    if (c >= target || c >= submitted_.load(std::memory_order_acquire)) return;
+    flush_cv_.wait(flush_mutex_);
+  }
 }
 
 void MatchingService::close() {
-  std::lock_guard lock(close_mutex_);
+  const MutexLock lock(close_mutex_);
   if (!closing_.exchange(true, std::memory_order_acq_rel)) {
     queue_.close();
     stall_cv_.notify_all();  // closing overrides any SSP writer stall
@@ -171,6 +187,11 @@ std::int64_t MatchingService::min_observed_locked() const {
   for (const SnapshotReader* r : readers_)
     lo = std::min(lo, r->observed_.load(std::memory_order_relaxed));
   return lo;
+}
+
+bool MatchingService::publish_ready(std::int64_t epoch) const {
+  return closing_.load(std::memory_order_acquire) || readers_.empty() ||
+         min_observed_locked() + cfg_.max_lag >= epoch;
 }
 
 void MatchingService::writer_loop() {
@@ -192,27 +213,30 @@ void MatchingService::writer_loop() {
     if (cfg_.stall_writer) {
       // SSP gate: hold publication of `epoch` until every registered reader
       // has observed at least epoch - max_lag. close() lifts the gate.
-      std::unique_lock lock(registry_mutex_);
-      const auto ready = [&] {
-        return closing_.load(std::memory_order_acquire) || readers_.empty() ||
-               min_observed_locked() + cfg_.max_lag >= epoch;
-      };
-      stalled = !ready();
-      if (stalled) {
-        writer_stalled_.store(true, std::memory_order_release);
-        stall_cv_.wait(lock, ready);
-        writer_stalled_.store(false, std::memory_order_release);
+      const MutexLock lock(registry_mutex_);
+      while (!publish_ready(epoch)) {
+        if (!stalled) {
+          stalled = true;
+          writer_stalled_.store(true, std::memory_order_release);
+        }
+        stall_cv_.wait(registry_mutex_);
       }
+      if (stalled) writer_stalled_.store(false, std::memory_order_release);
     }
 
-    // Publication order matters: snapshot first, epoch counter second (both
-    // release), so a reader that sees the new epoch also sees a snapshot at
-    // least that new when it re-fetches.
+    // Publication order matters and the lint holds us to it
+    // (tools/determinism_lint.py, rule `publication-order`): the snapshot
+    // pointer is release-stored before the epoch counter, so a reader that
+    // acquires the new epoch and re-fetches is guaranteed a snapshot at least
+    // that new — the SSP refresh rule's "staleness clamps to 0" proof in
+    // SnapshotReader::refresh() leans on exactly this pairing.
+    // publication-order[1]
     latest_.store(std::move(snap), std::memory_order_release);
+    // publication-order[2]
     published_epoch_.store(epoch, std::memory_order_release);
 
     {
-      std::lock_guard lock(stats_mutex_);
+      const MutexLock lock(stats_mutex_);
       wstats_.epochs += 1;
       wstats_.updates_committed += static_cast<std::int64_t>(got);
       wstats_.rebuilds = engine_->rebuilds();
@@ -223,9 +247,7 @@ void MatchingService::writer_loop() {
     }
     committed_.fetch_add(static_cast<std::int64_t>(got),
                          std::memory_order_acq_rel);
-    {
-      std::lock_guard lock(flush_mutex_);
-    }
+    { const MutexLock lock(flush_mutex_); }
     flush_cv_.notify_all();
   }
 }
@@ -234,10 +256,10 @@ ServiceStats MatchingService::stats() const {
   // Registry before stats — the same nesting SnapshotReader's destructor
   // uses. wstats_ already carries departed readers' counters; live readers
   // are merged on top.
-  std::lock_guard registry_lock(registry_mutex_);
+  const MutexLock registry_lock(registry_mutex_);
   ServiceStats out;
   {
-    std::lock_guard stats_lock(stats_mutex_);
+    const MutexLock stats_lock(stats_mutex_);
     out = wstats_;
   }
   for (const SnapshotReader* r : readers_) {

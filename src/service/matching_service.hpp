@@ -49,10 +49,8 @@
 /// can pin that (tests/test_service.cpp stress suite).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -61,6 +59,7 @@
 #include "dynamic/sharded_matcher.hpp"
 #include "graph/dyn_graph.hpp"
 #include "matching/matching_view.hpp"
+#include "util/annotations.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace bmf {
@@ -180,23 +179,26 @@ class MatchingService {
 
   /// Enqueues one update (any thread); blocks while the queue is full.
   /// Returns false iff the service is closed.
-  bool submit(const EdgeUpdate& update);
+  bool submit(const EdgeUpdate& update) BMF_EXCLUDES(flush_mutex_);
   /// Enqueues a span in order (one queue lock, still coalesced downstream by
   /// arrival); blocks for space. Returns false iff closed part-way.
-  bool submit_batch(std::span<const EdgeUpdate> updates);
+  bool submit_batch(std::span<const EdgeUpdate> updates)
+      BMF_EXCLUDES(flush_mutex_);
   /// Non-blocking submit; returns false if the queue is full or closed (the
   /// open-loop client's drop-and-count path).
-  bool try_submit(const EdgeUpdate& update);
+  bool try_submit(const EdgeUpdate& update) BMF_EXCLUDES(flush_mutex_);
 
   /// Blocks until every update submitted before this call has been committed
-  /// and its epoch published. (In stall_writer mode publication can wait on
+  /// and its epoch published — or refused (a concurrent submit against a
+  /// closing service rolls its count back; flush must not wait for updates
+  /// that will never commit). (In stall_writer mode publication can wait on
   /// registered readers — keep them reading, or flush may wait with them.)
-  void flush();
+  void flush() BMF_EXCLUDES(flush_mutex_);
 
   /// Stops intake, drains what was accepted, publishes the final epoch, and
   /// joins the writer. Idempotent; called by the destructor. Overrides any
   /// SSP writer stall so shutdown always completes.
-  void close();
+  void close() BMF_EXCLUDES(close_mutex_);
 
   /// The latest published snapshot (epoch 0 exists from construction).
   /// Direct use bypasses SSP accounting — readers should normally go through
@@ -221,7 +223,8 @@ class MatchingService {
   /// submit, after flush() with no concurrent submitters, or after close()).
   [[nodiscard]] const ReplayEngine& engine() const { return *engine_; }
   /// Consistent copy of the service counters + merged reader histograms.
-  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const
+      BMF_EXCLUDES(registry_mutex_, stats_mutex_);
 
  private:
   friend class SnapshotReader;
@@ -231,7 +234,13 @@ class MatchingService {
   void start();
   void writer_loop();
   /// Minimum SSP reader clock over registered readers; registry lock held.
-  [[nodiscard]] std::int64_t min_observed_locked() const;
+  [[nodiscard]] std::int64_t min_observed_locked() const
+      BMF_REQUIRES(registry_mutex_);
+  /// The SSP publication gate's predicate: may epoch `epoch` publish now?
+  /// True once every registered reader is within max_lag (or the registry is
+  /// empty, or the service is closing — close() lifts the gate).
+  [[nodiscard]] bool publish_ready(std::int64_t epoch) const
+      BMF_REQUIRES(registry_mutex_);
 
   ServiceConfig cfg_;
   std::unique_ptr<ShardedDynamicMatcher> owned_engine_;
@@ -245,19 +254,27 @@ class MatchingService {
   std::atomic<bool> closing_{false};
   std::atomic<bool> writer_stalled_{false};
 
-  mutable std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
+  /// flush()'s rendezvous lock: it guards no data of its own — committed_ and
+  /// submitted_ are atomics — but bridges the committed_ advance and the
+  /// notify so a flusher between its predicate check and its wait cannot miss
+  /// the wakeup.
+  mutable Mutex flush_mutex_;
+  CondVar flush_cv_;
 
   /// Guards the reader registry and, in stall mode, readers' observed_
   /// advances (so the stalled writer cannot miss a wakeup).
-  mutable std::mutex registry_mutex_;
-  std::condition_variable stall_cv_;
-  std::vector<SnapshotReader*> readers_;
+  mutable Mutex registry_mutex_;
+  CondVar stall_cv_;
+  std::vector<SnapshotReader*> readers_ BMF_GUARDED_BY(registry_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats wstats_;  ///< writer-side counters (reader fields merged later)
+  mutable Mutex stats_mutex_;
+  /// Writer-side counters (reader fields merged later).
+  ServiceStats wstats_ BMF_GUARDED_BY(stats_mutex_);
 
-  std::mutex close_mutex_;
+  /// Serializes concurrent close() calls; writer_ itself is only assigned
+  /// before any other thread exists (start(), from the constructors) and
+  /// joined under this lock.
+  Mutex close_mutex_;
   std::thread writer_;
 };
 

@@ -1,0 +1,135 @@
+#pragma once
+
+/// Clang Thread Safety Analysis annotations + an annotated mutex.
+///
+/// The repo's lock discipline was enforced only dynamically (TSan jobs,
+/// differential suites) until this header: Clang's `-Wthread-safety` turns the
+/// discipline into a compile-time check, so a forgotten lock or a guarded
+/// field touched from the wrong scope fails the clang CI builds instead of
+/// waiting for an unlucky interleaving. Under any other compiler every macro
+/// expands to nothing, so gcc builds are unaffected.
+///
+/// Conventions (see docs/static_analysis.md for the full policy):
+///
+///  * Mutex-protected state uses `bmf::Mutex` (below), never a bare
+///    `std::mutex` — libstdc++'s mutex carries no capability attribute, so
+///    the analysis cannot track it.
+///  * Every guarded field carries `BMF_GUARDED_BY(mu)`; private helpers that
+///    assume the lock carry `BMF_REQUIRES(mu)`; public entry points that must
+///    not be called with the lock held carry `BMF_EXCLUDES(mu)`.
+///  * Locks are taken through `bmf::MutexLock` (a SCOPED_CAPABILITY guard the
+///    analysis understands), and condition-variable waits use
+///    `std::condition_variable_any` (`bmf::CondVar`) on the `Mutex` itself,
+///    with the predicate written as an explicit `while` loop in the annotated
+///    scope — a predicate lambda would be analyzed as an unannotated function
+///    and spuriously flagged.
+///  * `BMF_NO_THREAD_SAFETY_ANALYSIS` is a last resort and needs a comment
+///    explaining why the analysis cannot see the synchronization.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define BMF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BMF_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// A type that models a capability (a lockable resource).
+#define BMF_CAPABILITY(x) BMF_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define BMF_SCOPED_CAPABILITY BMF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding the given capability.
+#define BMF_GUARDED_BY(x) BMF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose pointee may only be touched while holding the
+/// capability (the pointer itself is unguarded).
+#define BMF_PT_GUARDED_BY(x) BMF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define BMF_REQUIRES(...) \
+  BMF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define BMF_ACQUIRE(...) BMF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define BMF_RELEASE(...) BMF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define BMF_TRY_ACQUIRE(...) \
+  BMF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock guard
+/// for non-reentrant locks).
+#define BMF_EXCLUDES(...) BMF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define BMF_ASSERT_CAPABILITY(x) \
+  BMF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define BMF_RETURN_CAPABILITY(x) BMF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis entirely; comment why at every use.
+#define BMF_NO_THREAD_SAFETY_ANALYSIS \
+  BMF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bmf {
+
+/// `std::mutex` with the capability attribute, so `-Wthread-safety` can track
+/// it. Lock through `MutexLock` (or `lock()`/`unlock()` when RAII does not
+/// fit); wait on it with `bmf::CondVar` (`std::condition_variable_any`
+/// accepts any BasicLockable, and this class is one).
+class BMF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BMF_ACQUIRE() { mu_.lock(); }
+  void unlock() BMF_RELEASE() { mu_.unlock(); }
+  bool try_lock() BMF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for `Mutex` — the annotated replacement for
+/// `std::lock_guard` / `std::unique_lock`. `unlock()` releases early (for the
+/// unlock-then-notify pattern); the destructor releases only if still held.
+class BMF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BMF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BMF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before the end of scope (e.g. to notify a condition
+  /// variable without holding the lock).
+  void unlock() BMF_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable for `Mutex`. Waits release/reacquire the mutex inside
+/// the (system-header, analysis-exempt) wait, so from the analysis' point of
+/// view the capability is simply held across the call — which is exactly the
+/// contract a caller relies on. Always wait in an explicit predicate loop:
+///
+///   MutexLock lock(mutex_);
+///   while (!predicate_over_guarded_state) cv_.wait(mutex_);
+using CondVar = std::condition_variable_any;
+
+}  // namespace bmf

@@ -27,8 +27,8 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(idle_mutex_);
-    stop_.store(true, std::memory_order_release);
+    const MutexLock lock(idle_mutex_);
+    stop_ = true;
   }
   idle_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
@@ -47,21 +47,22 @@ void ThreadPool::submit(std::function<void()> task) {
   const std::size_t idx =
       round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
-    const std::lock_guard<std::mutex> lock(workers_[idx]->mutex);
-    workers_[idx]->queue.push_back(std::move(task));
+    Worker& target = *workers_[idx];
+    const MutexLock lock(target.mutex);
+    target.queue.push_back(std::move(task));
   }
   // Bridge the push and the notify with idle_mutex_ so a worker between its
   // (empty) queue scan and its cv wait cannot miss this task: either it holds
   // idle_mutex_ and scans after our push, or it is already waiting and gets
   // the notify.
-  { const std::lock_guard<std::mutex> lock(idle_mutex_); }
+  { const MutexLock lock(idle_mutex_); }
   idle_cv_.notify_all();
 }
 
 bool ThreadPool::try_pop_or_steal(std::size_t self, std::function<void()>& out) {
   {
     Worker& own = *workers_[self];
-    const std::lock_guard<std::mutex> lock(own.mutex);
+    const MutexLock lock(own.mutex);
     if (!own.queue.empty()) {
       out = std::move(own.queue.front());
       own.queue.erase(own.queue.begin());
@@ -71,12 +72,20 @@ bool ThreadPool::try_pop_or_steal(std::size_t self, std::function<void()>& out) 
   const std::size_t n = workers_.size();
   for (std::size_t offset = 1; offset < n; ++offset) {
     Worker& victim = *workers_[(self + offset) % n];
-    const std::lock_guard<std::mutex> lock(victim.mutex);
+    const MutexLock lock(victim.mutex);
     if (!victim.queue.empty()) {
       out = std::move(victim.queue.back());
       victim.queue.pop_back();
       return true;
     }
+  }
+  return false;
+}
+
+bool ThreadPool::any_task_queued() const {
+  for (const auto& w : workers_) {
+    const MutexLock qlock(w->mutex);
+    if (!w->queue.empty()) return true;
   }
   return false;
 }
@@ -101,19 +110,12 @@ void ThreadPool::worker_loop(std::size_t self) {
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mutex_);
-    if (stop_.load(std::memory_order_acquire)) return;
+    const MutexLock lock(idle_mutex_);
     // submit() bridges its queue push with idle_mutex_ before notifying, so
-    // re-scanning the queues in the predicate under this lock cannot miss a
-    // task; workers block indefinitely with no polling.
-    idle_cv_.wait(lock, [&] {
-      if (stop_.load(std::memory_order_acquire)) return true;
-      for (const auto& w : workers_) {
-        const std::lock_guard<std::mutex> qlock(w->mutex);
-        if (!w->queue.empty()) return true;
-      }
-      return false;
-    });
+    // re-scanning the queues under this lock cannot miss a task; workers
+    // block indefinitely with no polling.
+    while (!stop_ && !any_task_queued()) idle_cv_.wait(idle_mutex_);
+    if (stop_) return;
   }
 }
 
@@ -131,9 +133,9 @@ void ThreadPool::parallel_for(std::int64_t n,
       n, static_cast<std::int64_t>(workers_.size()));
   std::atomic<std::int64_t> cursor{0};
   std::atomic<std::int64_t> live{chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::mutex error_mutex;
+  Mutex done_mutex;
+  CondVar done_cv;
+  Mutex error_mutex;
   std::exception_ptr error;
 
   const auto drain = [&] {
@@ -143,7 +145,7 @@ void ThreadPool::parallel_for(std::int64_t n,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     }
@@ -152,18 +154,18 @@ void ThreadPool::parallel_for(std::int64_t n,
   for (std::int64_t c = 0; c < chunks; ++c) {
     submit([&] {
       drain();
-      // Decrement under the mutex: the caller frees these locals as soon as
-      // its predicate sees live == 0, so the count must not reach 0 while
-      // this task could still touch done_mutex/done_cv afterwards.
-      const std::lock_guard<std::mutex> lock(done_mutex);
+      // Decrement AND notify under the mutex: the caller frees these locals
+      // as soon as its wait sees live == 0, so the count must not reach 0
+      // while this task could still touch done_mutex/done_cv afterwards.
+      const MutexLock lock(done_mutex);
       if (live.fetch_sub(1, std::memory_order_acq_rel) == 1)
         done_cv.notify_all();
     });
   }
   drain();
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return live.load(std::memory_order_acquire) == 0; });
+    const MutexLock lock(done_mutex);
+    while (live.load(std::memory_order_acquire) != 0) done_cv.wait(done_mutex);
   }
   if (error) std::rethrow_exception(error);
 }
@@ -172,10 +174,10 @@ ThreadPool& ThreadPool::global() { return shared(0); }
 
 ThreadPool& ThreadPool::shared(int threads) {
   const int total = resolve_threads(threads);
-  static std::mutex registry_mutex;
+  static Mutex registry_mutex;
   static std::map<int, std::unique_ptr<ThreadPool>>* registry =
       new std::map<int, std::unique_ptr<ThreadPool>>();  // leaked: process-lifetime
-  const std::lock_guard<std::mutex> lock(registry_mutex);
+  const MutexLock lock(registry_mutex);
   auto& slot = (*registry)[total];
   if (!slot) slot = std::make_unique<ThreadPool>(total);
   return *slot;

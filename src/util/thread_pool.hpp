@@ -18,13 +18,13 @@
 /// runs inline with no pool at all.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace bmf {
 
@@ -66,19 +66,49 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::vector<std::function<void()>> queue;  // front = index 0, steal = back
+    Mutex mutex;
+    // front = index 0, steal = back
+    std::vector<std::function<void()>> queue BMF_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t self);
   bool try_pop_or_steal(std::size_t self, std::function<void()>& out);
+  /// Scan every worker queue for pending work. Called with idle_mutex_ held
+  /// (the submit-side bridge: submit() touches idle_mutex_ between its queue
+  /// push and its notify, so a worker that scans empty under this lock cannot
+  /// miss the subsequent notify).
+  [[nodiscard]] bool any_task_queued() const BMF_REQUIRES(idle_mutex_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
-  std::atomic<bool> stop_{false};
+  Mutex idle_mutex_;
+  CondVar idle_cv_;
+  /// Shutdown flag; every access is under idle_mutex_ (the annotation pass
+  /// demoted it from a redundant atomic — the cv rendezvous already needs the
+  /// lock on both sides).
+  bool stop_ BMF_GUARDED_BY(idle_mutex_) = false;
   std::atomic<std::uint64_t> round_robin_{0};
+};
+
+/// RAII handle for the one legitimate dedicated-thread pattern outside the
+/// pool: spawn, overlap with caller work, join. Joining in the destructor
+/// means an exception on the spawning thread cannot leak a running thread.
+/// tools/determinism_lint.py bans raw `std::thread` construction outside
+/// `util/` + `service/`; overlap code uses this instead.
+class DedicatedThread {
+ public:
+  explicit DedicatedThread(std::function<void()> fn) : thread_(std::move(fn)) {}
+  ~DedicatedThread() { join(); }
+  DedicatedThread(const DedicatedThread&) = delete;
+  DedicatedThread& operator=(const DedicatedThread&) = delete;
+
+  /// Blocks until the thread finishes; idempotent.
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
 };
 
 /// Runs fn(i) for i in [0, n) with the shared pool for this `threads` knob

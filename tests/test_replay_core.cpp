@@ -228,6 +228,8 @@ TEST(ReplayCoreGoldenTrace, CanonicalWorkloadsMatchRecordedTraces) {
   std::vector<std::string> lines;
   for (const GoldenCase& c : golden_cases()) lines.push_back(trace_line(c));
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only env probe before any
+  // thread exists; regeneration mode is a single-threaded dev invocation.
   if (std::getenv("BMF_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(golden_path(), std::ios::trunc);
     ASSERT_TRUE(out.is_open()) << "cannot write " << golden_path();

@@ -114,6 +114,40 @@ TEST(ServiceQueue, CloseWakesBlockedProducer) {
   producer.join();
 }
 
+TEST(ServiceQueue, PushAllWakesAnAlreadyWaitingConsumer) {
+  // Regression guard for the push_all notify rework (the annotation pass
+  // moved signalling out of the lock): when the whole batch fits without a
+  // capacity wait, the single post-unlock notify is the only wakeup a
+  // blocked consumer gets — it must arrive.
+  BoundedQueue<int> q(8);
+  std::vector<int> out;
+  std::thread consumer([&] { EXPECT_EQ(q.drain(out, 8), 3u); });
+  // No rendezvous needed: whether the consumer is already parked in the wait
+  // or arrives after the push, it must see the batch.
+  const std::vector<int> items{1, 2, 3};
+  EXPECT_TRUE(q.push_all(items));
+  consumer.join();
+  EXPECT_EQ(out, items);
+}
+
+TEST(ServiceQueue, PushAllMidwayCloseKeepsQueuedItemsConsumable) {
+  BoundedQueue<int> q(2);
+  const std::vector<int> items{1, 2, 3, 4, 5};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push_all(items));  // closed before the batch fits
+  });
+  std::vector<int> out, all;
+  (void)q.drain(out, 1);  // free one slot so the producer makes progress
+  all.insert(all.end(), out.begin(), out.end());
+  q.close();
+  producer.join();
+  // Whatever was accepted before the close stays consumable, in order.
+  while (q.drain(out, 8) > 0) all.insert(all.end(), out.begin(), out.end());
+  ASSERT_LE(all.size(), items.size());
+  ASSERT_GE(all.size(), 1u);
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], items[i]);
+}
+
 // -------------------------------------------------- ServiceConfigValidation
 
 TEST(ServiceConfigValidation, RejectsServiceKnobs) {
@@ -371,6 +405,34 @@ TEST(ServiceBasic, SubmitFailsAfterCloseAndCloseIsIdempotent) {
   const std::vector<EdgeUpdate> more{{2, 3, true}};
   EXPECT_FALSE(svc.submit_batch(more));
   svc.flush();  // nothing pending; must not hang
+  EXPECT_EQ(svc.stats().updates_committed, 1);
+}
+
+TEST(ServiceBasic, RefusedConcurrentSubmitsDoNotStrandFlush) {
+  // Regression: flush() captures submitted_ as its target; a concurrent
+  // submit in its count-then-push window whose push is then refused (queue
+  // closed) rolls the counter back, and the old predicate (committed_ >=
+  // target alone) could wait for a count that will never commit. The fixed
+  // predicate also releases once committed_ catches submitted_, and both
+  // refusal paths notify — so flush must always return here no matter how
+  // the submits interleave with the captures. A regression shows up as this
+  // test hanging into the ctest timeout.
+  MatchingService svc(8, ServiceConfig{});
+  EXPECT_TRUE(svc.submit({0, 1, true}));
+  svc.flush();
+  svc.close();
+
+  constexpr int kIters = 200;
+  std::thread submitter([&] {
+    for (int i = 0; i < kIters; ++i) EXPECT_FALSE(svc.submit({1, 2, true}));
+  });
+  std::thread trier([&] {
+    for (int i = 0; i < kIters; ++i) EXPECT_FALSE(svc.try_submit({2, 3, true}));
+  });
+  for (int i = 0; i < kIters; ++i) svc.flush();
+  submitter.join();
+  trier.join();
+  svc.flush();
   EXPECT_EQ(svc.stats().updates_committed, 1);
 }
 

@@ -117,5 +117,28 @@ TEST(ThreadPool, SharedPoolsAreCachedPerSize) {
   EXPECT_EQ(a.size(), 3);
 }
 
+TEST(ThreadPool, DedicatedThreadJoinsOnDestructionAndIsIdempotent) {
+  std::atomic<bool> ran{false};
+  {
+    DedicatedThread t([&] { ran.store(true, std::memory_order_release); });
+    t.join();
+    t.join();  // second join is a no-op
+  }  // destructor would join too
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
+TEST(ThreadPool, DedicatedThreadJoinsOnUnwind) {
+  // The replay core's overlap path relies on this: an exception in the
+  // overlapped work must not leak the rebuild thread past its captures.
+  std::atomic<bool> ran{false};
+  EXPECT_THROW(
+      {
+        DedicatedThread t([&] { ran.store(true, std::memory_order_release); });
+        throw std::runtime_error("overlap failed");
+      },
+      std::runtime_error);
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
 }  // namespace
 }  // namespace bmf

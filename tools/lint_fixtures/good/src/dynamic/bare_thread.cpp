@@ -1,0 +1,15 @@
+// Lint fixture (good twin): the dedicated-thread pattern goes through the
+// RAII wrapper, which joins on every exit path.
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+
+void rebuild_async(std::vector<int>& out) {
+  DedicatedThread worker([&] { out.push_back(1); });
+  out.push_back(0);
+  worker.join();
+}
+
+}  // namespace bmf

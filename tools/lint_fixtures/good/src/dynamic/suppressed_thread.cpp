@@ -1,0 +1,13 @@
+// Lint fixture (good): a documented suppression — allow(<rule>) with a
+// mandatory reason silences exactly one rule on one line.
+#include <thread>
+
+namespace bmf {
+
+void measure_spawn_latency() {
+  // determinism-lint: allow(bare-thread) -- measures raw spawn cost; joined
+  std::thread probe([] {});
+  probe.join();
+}
+
+}  // namespace bmf
