@@ -13,7 +13,11 @@
 /// exactly the boost wall time for static boosts); `read_p50_us` /
 /// `read_p99_us` are snapshot-read latency percentiles in microseconds and
 /// are 0 for benches without a read side (only the matching service bench
-/// populates them). Names must not contain characters needing JSON escapes.
+/// populates them); `coord_bytes` / `coord_rounds` are the coordinator
+/// message ledger (CommStats, replay_core.hpp) — bytes and rounds crossing
+/// the shard boundary over the whole run — and are 0 for flat engines,
+/// single-shard cells, and benches without a sharded store. Names must not
+/// contain characters needing JSON escapes.
 
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +38,8 @@ struct Record {
   bool identical = true;
   double read_p50_us = 0.0;
   double read_p99_us = 0.0;
+  std::int64_t coord_bytes = 0;
+  std::int64_t coord_rounds = 0;
 };
 
 class Writer {
@@ -51,11 +57,14 @@ class Writer {
                    "  {\"bench\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
                    "\"updates_per_sec\": %.1f, \"rebuild_ms\": %.3f, "
                    "\"rebuilds\": %lld, \"identical\": %s, "
-                   "\"read_p50_us\": %.3f, \"read_p99_us\": %.3f}%s\n",
+                   "\"read_p50_us\": %.3f, \"read_p99_us\": %.3f, "
+                   "\"coord_bytes\": %lld, \"coord_rounds\": %lld}%s\n",
                    r.bench.c_str(), r.workload.c_str(), r.threads,
                    r.updates_per_sec, r.rebuild_ms,
                    static_cast<long long>(r.rebuilds),
                    r.identical ? "true" : "false", r.read_p50_us, r.read_p99_us,
+                   static_cast<long long>(r.coord_bytes),
+                   static_cast<long long>(r.coord_rounds),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -41,13 +41,15 @@ struct RunState {
   std::int64_t edges = 0;
   std::int64_t rebuilds = 0;
   std::int64_t weak_calls = 0;
+  RebuildStats rebuild_stats;
 
   friend bool operator==(const RunState&, const RunState&) = default;
 };
 
 // One collector over the abstract engine surface serves both the sequential
 // reference and every sharded grid point (it used to be two facade-specific
-// copies).
+// copies). The comm ledger is collected separately: it is per-cell
+// deterministic but NOT part of the cross-cell identity (replay_core.hpp).
 RunState state_of(const ReplayEngine& engine) {
   RunState s;
   const LiveEngineView view = engine.view();
@@ -56,6 +58,7 @@ RunState state_of(const ReplayEngine& engine) {
   s.edges = engine.snapshot().num_edges();
   s.rebuilds = engine.rebuilds();
   s.weak_calls = engine.weak_calls();
+  s.rebuild_stats = engine.rebuild_stats();
   return s;
 }
 
@@ -97,7 +100,10 @@ void run_comparison(benchjson::Writer& out, const char* workload,
       for (const auto& batch : batches) dm.apply_batch(batch);
       const double s = timer.seconds();
       const RunState got = state_of(dm);
-      const bool same = got == reference;
+      const CommStats comm = dm.comm_stats();
+      // Single-shard cells have no boundary: a non-zero ledger there is a
+      // counting bug and fails the run like any state divergence.
+      const bool same = got == reference && (shards > 1 || comm == CommStats{});
       char mode[32];
       std::snprintf(mode, sizeof mode, "s%d x %dT", shards, threads);
       t.add_row({mode, Table::num(s, 4), Table::num(count / s, 0),
@@ -105,8 +111,11 @@ void run_comparison(benchjson::Writer& out, const char* workload,
                  same ? "yes" : "NO"});
       char cell[64];
       std::snprintf(cell, sizeof cell, "%s/s%d", workload, shards);
-      out.add({"sharded_dynamic", cell, threads, count / s, s * 1000.0,
-               got.rebuilds, same});
+      benchjson::Record rec{"sharded_dynamic", cell, threads, count / s,
+                            s * 1000.0, got.rebuilds, same};
+      rec.coord_bytes = comm.coord_bytes();
+      rec.coord_rounds = comm.coord_rounds();
+      out.add(rec);
     }
   }
   t.print(title);

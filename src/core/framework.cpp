@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <span>
-#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -21,47 +20,83 @@
 // vertices against the graph — the dominant per-iteration cost and pure
 // const reads on the forest (operations only happen after the oracle
 // answers). Discovery therefore fans out across cfg.threads pool workers
-// with one private candidate buffer per structure, and the buffers merge
-// serially in structure-id order, reproducing the serial loop's
+// with one private candidate buffer per (participant, structure) slot —
+// each participant scans only the structure vertices whose rows it owns —
+// and the buffers merge serially in structure-id order through the
+// participation policy's pos-merge, reproducing the serial loop's
 // first-encounter index assignment exactly. The derived graphs handed to the
 // oracle — and hence matchings, op counts, and truncation decisions — are
-// bit-identical at any thread count.
+// bit-identical at any (participants x threads).
 
 namespace bmf {
 namespace {
 
-/// Private per-structure discovery buffer for one oracle iteration.
-struct StageCandidates {
-  int level = 0;
-  std::vector<std::pair<Vertex, Vertex>> arcs;  ///< (w, x) witness candidates
-};
-
-/// Per-structure buffer for Contract-and-Augment discovery: (w, x, sx) with
-/// x outer in the distinct live structure sx.
-struct AugmentCandidates {
-  std::vector<std::tuple<Vertex, Vertex, StructureId>> arcs;
-};
-
 /// Below these sizes the pool round-trip costs more than the scan; the
 /// parallel paths degrade to inline serial loops with identical output
 /// (merges are in canonical order either way; see gated_threads). Discovery
-/// gates on both the structure count (the fan-out width) and the edge count
-/// (an upper bound on one iteration's total scan work).
+/// gates on both the slot count (the fan-out width: participants x
+/// structures) and the edge count (an upper bound on one iteration's total
+/// scan work).
 constexpr std::int64_t kParallelDiscoveryMinStructures = 16;
 constexpr std::int64_t kParallelDiscoveryMinEdges = 2048;
 constexpr std::int64_t kParallelEdgeFilterMin = 2048;
 
-int discovery_thread_gate(std::int64_t structures, std::int64_t edges,
-                          int threads) {
-  return gated_threads(structures, kParallelDiscoveryMinStructures,
+int discovery_thread_gate(std::int64_t slots, std::int64_t edges, int threads) {
+  return gated_threads(slots, kParallelDiscoveryMinStructures,
                        gated_threads(edges, kParallelDiscoveryMinEdges, threads));
+}
+
+/// The shared flat policy behind the participation-less constructor; it is
+/// stateless (pass-through merge, no-op accounting), so sharing one instance
+/// across drivers and threads is safe.
+RebuildParticipation& flat_participation() {
+  static FlatRebuildParticipation flat;
+  return flat;
 }
 
 }  // namespace
 
+void RebuildParticipation::merge(
+    std::span<const std::vector<SweepArc>> per_participant,
+    std::vector<SweepArc>& out) const {
+  if (per_participant.size() == 1) {
+    out.insert(out.end(), per_participant[0].begin(), per_participant[0].end());
+    return;
+  }
+  // Canonical coordinator splice: each buffer is pos-ascending and the pos
+  // sets are pairwise disjoint (every scan position is owned by exactly one
+  // participant), so repeatedly taking the buffer with the smallest front pos
+  // — and draining all its arcs for that position, i.e. one scanned vertex's
+  // neighbor run — reproduces the flat scan order exactly.
+  std::size_t total = 0;
+  for (const auto& buf : per_participant) total += buf.size();
+  out.reserve(out.size() + total);
+  std::vector<std::size_t> cursor(per_participant.size(), 0);
+  for (;;) {
+    std::size_t best = per_participant.size();
+    for (std::size_t p = 0; p < per_participant.size(); ++p) {
+      if (cursor[p] >= per_participant[p].size()) continue;
+      if (best == per_participant.size() ||
+          per_participant[p][cursor[p]].pos <
+              per_participant[best][cursor[best]].pos)
+        best = p;
+    }
+    if (best == per_participant.size()) break;
+    const std::vector<SweepArc>& buf = per_participant[best];
+    std::size_t& cur = cursor[best];
+    const std::int32_t pos = buf[cur].pos;
+    while (cur < buf.size() && buf[cur].pos == pos) out.push_back(buf[cur++]);
+  }
+}
+
 FrameworkDriver::FrameworkDriver(const Graph& g, MatchingOracle& oracle,
-                                 const CoreConfig& cfg)
-    : g_(g), oracle_(oracle), cfg_(cfg) {}
+                                 const CoreConfig& cfg,
+                                 RebuildParticipation* participation)
+    : g_(g),
+      oracle_(oracle),
+      cfg_(cfg),
+      participation_(participation != nullptr ? participation
+                                              : &flat_participation()) {}
 
 bool FrameworkDriver::exhaustive() const {
   return cfg_.iteration_mode == IterationMode::kUntilEmpty &&
@@ -101,50 +136,72 @@ void FrameworkDriver::run_stage(StructureForest& forest, int stage) {
     OracleGraph h;
     std::vector<std::pair<std::int32_t, std::int32_t>> raw_edges;
 
-    // Parallel discovery: each structure scans its working blossom's
-    // neighborhoods into a private slot (const reads only). Tiny forests run
-    // inline — the pool round-trip would cost more than the scan, and the
-    // merged output is the same either way.
+    // Parallel discovery: each (participant, structure) slot scans the
+    // working blossom's vertices whose rows the participant owns into a
+    // private pos-tagged buffer (const reads only). Tiny forests run inline —
+    // the pool round-trip would cost more than the scan, and the merged
+    // output is the same either way.
     const auto ns = static_cast<std::int64_t>(forest.num_structures());
+    const int np = participation_->participants();
+    const bool partitioned = np > 1;
+    const std::int64_t nslots = ns * np;
     const int discovery_threads =
-        discovery_thread_gate(ns, g_.num_edges(), cfg_.threads);
-    std::vector<StageCandidates> slots(static_cast<std::size_t>(ns));
-    parallel_for_threads(discovery_threads, ns, [&](std::int64_t s) {
-      const auto sid = static_cast<StructureId>(s);
+        discovery_thread_gate(nslots, g_.num_edges(), cfg_.threads);
+    std::vector<std::vector<SweepArc>> slots(static_cast<std::size_t>(nslots));
+    std::vector<int> slot_level(static_cast<std::size_t>(nslots), 0);
+    parallel_for_threads(discovery_threads, nslots, [&](std::int64_t idx) {
+      const auto sid = static_cast<StructureId>(idx / np);
+      const int shard = static_cast<int>(idx % np);
       const StructureInfo& si = forest.structure(sid);
       if (si.removed || si.on_hold || si.extended || si.working == kNoBlossom)
         return;
       const int level = forest.outer_level(si.working);
       if (stage >= 0 && level != stage) return;
-      StageCandidates& slot = slots[static_cast<std::size_t>(s)];
-      slot.level = level;
+      slot_level[static_cast<std::size_t>(idx)] = level;
+      std::vector<SweepArc>& arcs = slots[static_cast<std::size_t>(idx)];
+      std::int32_t pos = 0;
       for (Vertex w : forest.blossom_vertices(si.working)) {
+        const std::int32_t wp = pos++;
+        if (partitioned && participation_->owner(w) != shard) continue;
         for (Vertex x : g_.neighbors(w)) {
           if (forest.is_removed(x) || m.mate(x) == kNoVertex) continue;
           if (m.mate(w) == x) continue;  // g must be unmatched
           if (!forest.is_unvisited(x) && !forest.is_inner(x)) continue;
           if (forest.label(x) <= level + 1) continue;
-          slot.arcs.emplace_back(w, x);
+          arcs.push_back({wp, w, x, kNoStructure});
         }
       }
     });
 
-    // Serial merge in structure-id order: identical index assignment to the
-    // serial scan (left ids in sid order, right ids in first-encounter order).
+    // Serial coordinator merge in structure-id order, participant buffers
+    // spliced per structure by scan position (the participation policy's
+    // ordering obligation): identical index assignment to the serial scan
+    // (left ids in sid order, right ids in first-encounter order).
+    std::vector<SweepArc> merged;
+    std::int64_t gathered = 0;
     for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
-      const StageCandidates& slot = slots[static_cast<std::size_t>(sid)];
-      if (slot.arcs.empty()) continue;
+      const auto base = static_cast<std::size_t>(sid) * static_cast<std::size_t>(np);
+      merged.clear();
+      participation_->merge(
+          std::span<const std::vector<SweepArc>>(&slots[base],
+                                                 static_cast<std::size_t>(np)),
+          merged);
+      if (merged.empty()) continue;
+      gathered += static_cast<std::int64_t>(merged.size());
+      const int level = slot_level[base];
       const auto li = static_cast<std::int32_t>(left_index.size());
       left_index.emplace(sid, li);
-      for (const auto& [w, x] : slot.arcs) {
+      for (const SweepArc& a : merged) {
         const auto rit =
-            right_index.emplace(x, static_cast<std::int32_t>(right_index.size()))
+            right_index.emplace(a.x, static_cast<std::int32_t>(right_index.size()))
                 .first;
         raw_edges.emplace_back(li, rit->second);
-        witness.emplace_back(w, x);
-        edge_level.push_back(slot.level);
+        witness.emplace_back(a.w, a.x);
+        edge_level.push_back(level);
       }
     }
+    participation_->note_rebuild_gather(
+        gathered * static_cast<std::int64_t>(sizeof(SweepArc)));
     if (raw_edges.empty()) break;
 
     // Deduplicate (left, right) pairs, keeping the first witness.
@@ -242,41 +299,63 @@ void FrameworkDriver::run_augment_loop(StructureForest& forest) {
     std::unordered_map<std::int64_t, std::pair<Vertex, Vertex>> pair_witness;
 
     // Parallel discovery of inter-structure outer/outer arcs, one private
-    // slot per structure (const reads only); tiny forests run inline.
+    // pos-tagged slot per (participant, structure) — each participant scans
+    // the members whose rows it owns (const reads only); tiny forests run
+    // inline.
     const auto ns = static_cast<std::int64_t>(forest.num_structures());
+    const int np = participation_->participants();
+    const bool partitioned = np > 1;
+    const std::int64_t nslots = ns * np;
     const int discovery_threads =
-        discovery_thread_gate(ns, g_.num_edges(), cfg_.threads);
-    std::vector<AugmentCandidates> slots(static_cast<std::size_t>(ns));
-    parallel_for_threads(discovery_threads, ns, [&](std::int64_t s) {
-      const auto sid = static_cast<StructureId>(s);
+        discovery_thread_gate(nslots, g_.num_edges(), cfg_.threads);
+    std::vector<std::vector<SweepArc>> slots(static_cast<std::size_t>(nslots));
+    parallel_for_threads(discovery_threads, nslots, [&](std::int64_t idx) {
+      const auto sid = static_cast<StructureId>(idx / np);
+      const int shard = static_cast<int>(idx % np);
       const StructureInfo& si = forest.structure(sid);
       if (si.removed) return;
-      AugmentCandidates& slot = slots[static_cast<std::size_t>(s)];
+      std::vector<SweepArc>& arcs = slots[static_cast<std::size_t>(idx)];
+      std::int32_t pos = 0;
       for (Vertex w : si.members) {
+        const std::int32_t wp = pos++;
+        if (partitioned && participation_->owner(w) != shard) continue;
         if (!forest.is_outer(w)) continue;
         for (Vertex x : g_.neighbors(w)) {
           if (forest.is_removed(x)) continue;
           const StructureId sx = forest.structure_of(x);
           if (sx == kNoStructure || sx == sid || !forest.is_outer(x)) continue;
-          slot.arcs.emplace_back(w, x, sx);
+          arcs.push_back({wp, w, x, sx});
         }
       }
     });
 
-    // Serial merge in structure-id order: index assignment and witness
-    // selection (first arc per structure pair wins) match the serial scan.
+    // Serial coordinator merge in structure-id order (buffers spliced per
+    // structure by member position): index assignment and witness selection
+    // (first arc per structure pair wins) match the serial scan.
+    std::vector<SweepArc> merged;
+    std::int64_t gathered = 0;
     for (StructureId sid = 0; sid < forest.num_structures(); ++sid) {
-      for (const auto& [w, x, sx] : slots[static_cast<std::size_t>(sid)].arcs) {
+      const auto base = static_cast<std::size_t>(sid) * static_cast<std::size_t>(np);
+      merged.clear();
+      participation_->merge(
+          std::span<const std::vector<SweepArc>>(&slots[base],
+                                                 static_cast<std::size_t>(np)),
+          merged);
+      gathered += static_cast<std::int64_t>(merged.size());
+      for (const SweepArc& a : merged) {
         const auto ia = index.emplace(sid, static_cast<std::int32_t>(index.size()))
                             .first->second;
-        const auto ib = index.emplace(sx, static_cast<std::int32_t>(index.size()))
-                            .first->second;
+        const auto ib =
+            index.emplace(a.sx, static_cast<std::int32_t>(index.size()))
+                .first->second;
         const std::int64_t key =
             static_cast<std::int64_t>(std::min(ia, ib)) * (1LL << 31) +
             std::max(ia, ib);
-        pair_witness.emplace(key, std::make_pair(w, x));
+        pair_witness.emplace(key, std::make_pair(a.w, a.x));
       }
     }
+    participation_->note_rebuild_gather(
+        gathered * static_cast<std::int64_t>(sizeof(SweepArc)));
     if (pair_witness.empty()) break;
 
     OracleGraph h;

@@ -22,10 +22,30 @@
 /// the oracle is bit-identical at any thread count. This is what makes the
 /// Theorem 6.2 rebuild inside the dynamic matcher parallel: its exhaustion
 /// sweeps run through this driver.
+///
+/// ## Rebuild participation (the storage-layout fan-out surface)
+///
+/// When the driver runs inside a dynamic rebuild, the graph it scans is a
+/// frozen snapshot of a storage layout that may be sharded. The
+/// `RebuildParticipation` interface below lets that layout participate in the
+/// discovery sweeps as a first-class policy instead of the driver reaching
+/// around the store: discovery fans out per (participant x structure), each
+/// participant scans only the structure vertices whose rows it owns into a
+/// private pos-tagged buffer, and the coordinator splices the buffers per
+/// structure through the `merge` hook — in (shard-id, structure-id) slot
+/// order, resolved within a structure by scan position. The position tags are
+/// load-bearing: a structure's flat vertex scan (blossom order) is *not*
+/// ascending by vertex id, so owner-major concatenation would reorder
+/// candidates; merging by pos reproduces the flat emission order exactly,
+/// keeping matchings, op counts, and truncation decisions bit-identical to
+/// the single-participant sweep at every (participants x threads).
+/// `FlatRebuildParticipation` is the trivial single-participant case and the
+/// default when no participation is supplied.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
@@ -36,6 +56,60 @@
 #include "matching/matching.hpp"
 
 namespace bmf {
+
+/// One candidate arc emitted by a participant's share of a discovery sweep.
+/// `pos` is the index of the scanning vertex `w` in the structure's flat
+/// vertex scan (blossom-vertex order for H'_s stages, member order for the
+/// H' augment sweep) — the coordinator's merge key (see the file comment).
+struct SweepArc {
+  std::int32_t pos = 0;
+  Vertex w = kNoVertex;
+  Vertex x = kNoVertex;
+  StructureId sx = kNoStructure;  ///< peer structure (augment sweeps only)
+};
+
+/// How a storage layout takes part in the rebuild's H'/H'_s discovery
+/// sweeps. Implementations must satisfy the merge-order determinism
+/// obligation: `merge` must splice per-participant buffers (each ascending in
+/// pos, with pairwise-disjoint pos sets — every scan position is owned by
+/// exactly one participant) into ascending-pos order, reproducing the flat
+/// scan's emission order exactly. The default implementation is that
+/// canonical cursor merge; overrides exist for accounting, not ordering.
+///
+/// The `note_*` hooks are the coordinator message ledger (CommStats,
+/// replay_core.hpp): `note_rebuild_begin` is invoked once per Theorem 6.2
+/// boost with the frozen snapshot it distributes, `note_rebuild_gather` once
+/// per discovery sweep iteration with the candidate bytes gathered across
+/// the boundary. Single-participant layouts keep both as no-ops.
+class RebuildParticipation {
+ public:
+  virtual ~RebuildParticipation() = default;
+
+  /// Number of participants (>= 1); 1 is the flat single-participant case.
+  [[nodiscard]] virtual int participants() const = 0;
+  /// Owning participant of vertex v's adjacency row, in [0, participants()).
+  [[nodiscard]] virtual int owner(Vertex v) const = 0;
+  /// Splices one structure's per-participant candidate buffers into `out` in
+  /// flat scan order (ascending pos). See the class comment for the
+  /// obligation; the default implementation is the canonical merge.
+  virtual void merge(std::span<const std::vector<SweepArc>> per_participant,
+                     std::vector<SweepArc>& out) const;
+  /// One Theorem 6.2 boost begins: the coordinator distributes the frozen
+  /// snapshot's rows to their owners. Default: no accounting.
+  virtual void note_rebuild_begin(const Graph& snapshot) { (void)snapshot; }
+  /// One discovery sweep iteration gathered `bytes` bytes of candidate
+  /// buffers at the coordinator. Default: no accounting.
+  virtual void note_rebuild_gather(std::int64_t bytes) { (void)bytes; }
+};
+
+/// The trivial single-participant RebuildParticipation: one owner for every
+/// row, pass-through merge, no message accounting. Stateless, so one instance
+/// may be shared across threads.
+class FlatRebuildParticipation final : public RebuildParticipation {
+ public:
+  [[nodiscard]] int participants() const override { return 1; }
+  [[nodiscard]] int owner(Vertex /*v*/) const override { return 0; }
+};
 
 struct FrameworkStats {
   std::int64_t stage_loops = 0;       ///< (stage, pass-bundle) pairs simulated
@@ -57,7 +131,11 @@ using IterationObserver = std::function<void(const IterationObservation&)>;
 
 class FrameworkDriver final : public PassBundleDriver {
  public:
-  FrameworkDriver(const Graph& g, MatchingOracle& oracle, const CoreConfig& cfg);
+  /// `participation` selects the rebuild-participation policy the discovery
+  /// sweeps fan out through; nullptr means the flat single-participant case
+  /// (static pipelines, tests). The policy object must outlive the driver.
+  FrameworkDriver(const Graph& g, MatchingOracle& oracle, const CoreConfig& cfg,
+                  RebuildParticipation* participation = nullptr);
 
   void extend_active_path(StructureForest& forest) override;
   void contract_and_augment(StructureForest& forest) override;
@@ -76,6 +154,7 @@ class FrameworkDriver final : public PassBundleDriver {
   const Graph& g_;
   MatchingOracle& oracle_;
   const CoreConfig& cfg_;
+  RebuildParticipation* participation_;  ///< never null (flat fallback)
   FrameworkStats stats_;
   IterationObserver observer_;
 };

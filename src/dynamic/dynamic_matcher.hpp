@@ -50,9 +50,11 @@ struct DynamicMatcherConfig : DynamicCoreConfig {};
 
 /// The whole `ReplayEngine` surface — apply/apply_batch (batch determinism
 /// contract in replay_core.hpp), matching/snapshot/export_snapshot, and the
-/// counters incl. rebuild_positions()/overlap_stats() — is inherited from
-/// `ReplayEngineFacade` (replay_engine.hpp); only the oracle-reading
-/// `weak_calls()` and the flat-store `graph()` accessor live here.
+/// counters incl. rebuild_positions()/overlap_stats()/rebuild_stats()/
+/// comm_stats() (the flat store is single-participant, so its comm ledger is
+/// always all-zero) — is inherited from `ReplayEngineFacade`
+/// (replay_engine.hpp); only the oracle-reading `weak_calls()` and the
+/// flat-store `graph()` accessor live here.
 class DynamicMatcher final
     : public ReplayEngineFacade<DynamicMatcher, FlatAdjacencyStore> {
  public:

@@ -35,6 +35,18 @@
 ///   void apply_structural(updates, flags, threads);
 ///   void apply_adjacency(updates, flags, threads);
 ///   void flush_oracle(updates, flags, threads);
+///   // Rebuild participation (core/framework.hpp): the policy object the
+///   // Theorem 6.2 boost's H'/H'_s exhaustion sweeps fan out through —
+///   // shard-local candidate sweeps merged by the coordinator in canonical
+///   // order. Flat stores return the trivial single-participant policy. The
+///   // returned object must outlive the store; the core passes it into
+///   // every static_weak_boost call (so the rebuild path drives the store's
+///   // policy instead of reaching around it into FrameworkDriver):
+///   RebuildParticipation& rebuild_participation();
+///   // Coordinator message ledger (CommStats below), folded across the
+///   // store's state slices (participation + oracle + batch routing);
+///   // all-zero for single-participant layouts:
+///   CommStats comm_stats() const;
 ///
 /// Everything else — matching, counters, scratch marks, budget replay, and
 /// every decision sequence — lives here, so the two engines cannot drift:
@@ -147,6 +159,44 @@ struct ReplayOverlapStats {
   std::int64_t deletion_mispredictions = 0;
 };
 
+/// Coordinator message ledger: bytes and rounds crossing the shard boundary,
+/// split between the batch path (routing update ops to shard slices) and the
+/// rebuild path (snapshot distribution, discovery-sweep candidate gathers,
+/// oracle probe gathers). Stores with a single participant report all zeros —
+/// the flat engine and a sharded engine at shards = 1 both have no boundary
+/// to cross. The ledger counts the messages the store actually models; serial
+/// coordinator reads inside a rebuild (in-structure sweeps, local
+/// contractions) are deliberately not charged — the exact-cost accounting
+/// caveat (docs/replay_core.md). Counters are deterministic for a fixed
+/// stream x config cell and monotone over a run, but are *not* equal across
+/// thread counts: the overlap path's window grouping changes which gathers
+/// happen where.
+struct CommStats {
+  std::int64_t batch_bytes = 0;    ///< update ops routed to shard slices
+  std::int64_t batch_rounds = 0;   ///< routing rounds (one per batched flush)
+  std::int64_t rebuild_bytes = 0;  ///< snapshot + gathers during rebuilds
+  std::int64_t rebuild_rounds = 0;
+  [[nodiscard]] std::int64_t coord_bytes() const {
+    return batch_bytes + rebuild_bytes;
+  }
+  [[nodiscard]] std::int64_t coord_rounds() const {
+    return batch_rounds + rebuild_rounds;
+  }
+  friend bool operator==(const CommStats&, const CommStats&) = default;
+};
+
+/// Theorem 6.2 rebuild counters folded across every boost the core ran
+/// (including overlapped ones). Part of the determinism contract:
+/// bit-identical across engines, shards, threads, and batch sizes for a fixed
+/// stream x config — unlike CommStats, which is per-cell only.
+struct RebuildStats {
+  std::int64_t rebuilds = 0;
+  std::int64_t weak_calls = 0;  ///< == engine weak_calls(): only rebuilds query
+  std::int64_t sampled_iterations = 0;
+  std::int64_t certified = 0;  ///< boosts that ended with the B.4 certificate
+  friend bool operator==(const RebuildStats&, const RebuildStats&) = default;
+};
+
 /// The flat single-node AdjacencyStore policy: a `DynGraph` plus a borrowed
 /// `WeakOracle`. `DynamicMatcher` is a facade over
 /// `DynamicReplayCore<FlatAdjacencyStore>`.
@@ -188,11 +238,19 @@ class FlatAdjacencyStore {
     oracle_.on_batch(updates, structural, threads);
   }
 
+  /// The trivial single-participant policy: every rebuild sweep scans the
+  /// whole snapshot at the coordinator, nothing crosses a boundary.
+  [[nodiscard]] RebuildParticipation& rebuild_participation() {
+    return participation_;
+  }
+  [[nodiscard]] CommStats comm_stats() const { return {}; }
+
   [[nodiscard]] const DynGraph& graph() const { return g_; }
 
  private:
   DynGraph g_;
   WeakOracle& oracle_;
+  FlatRebuildParticipation participation_;
 };
 
 /// The shared decision machinery. One instance per engine facade; `Store` is
@@ -278,6 +336,12 @@ class DynamicReplayCore {
     return rebuild_positions_;
   }
   [[nodiscard]] const ReplayOverlapStats& overlap_stats() const { return stats_; }
+  /// Folded Theorem 6.2 counters across every rebuild (bit-identical across
+  /// the whole engine grid; rebuild_stats().weak_calls equals the oracle's
+  /// total call count because only rebuilds query it).
+  [[nodiscard]] const RebuildStats& rebuild_stats() const {
+    return rebuild_stats_;
+  }
 
  private:
   struct PrefixOutcome {
@@ -327,10 +391,18 @@ class DynamicReplayCore {
     rebuild();
   }
 
+  void note_rebuild_result(const WeakBoostResult& boosted) {
+    ++rebuild_stats_.rebuilds;
+    rebuild_stats_.weak_calls += boosted.weak_calls;
+    rebuild_stats_.sampled_iterations += boosted.sampled_iterations;
+    if (boosted.outcome.certified) ++rebuild_stats_.certified;
+  }
+
   void rebuild() {
     const Graph snapshot = store_.snapshot();
-    WeakBoostResult boosted =
-        static_weak_boost(snapshot, m_, store_.oracle(), cfg_.sim);
+    WeakBoostResult boosted = static_weak_boost(
+        snapshot, m_, store_.oracle(), cfg_.sim, &store_.rebuild_participation());
+    note_rebuild_result(boosted);
     m_ = std::move(boosted.matching);
   }
 
@@ -575,15 +647,19 @@ class DynamicReplayCore {
     // by the join alone.
     struct OverlapSlot {
       Mutex mu;
-      Matching rebuilt BMF_GUARDED_BY(mu);
+      WeakBoostResult rebuilt BMF_GUARDED_BY(mu);
       std::exception_ptr error BMF_GUARDED_BY(mu);
     } slot;
     DedicatedThread worker([&] {
-      Matching boosted;
+      // The participation/oracle rebuild-side comm counters are touched only
+      // by this thread while the boost runs (the caller's window work charges
+      // the distinct batch-side fields); the join below publishes them, same
+      // as the oracle's words_touched_ precedent.
+      WeakBoostResult boosted;
       std::exception_ptr err;
       try {
-        boosted =
-            static_weak_boost(snapshot, base, store_.oracle(), cfg_.sim).matching;
+        boosted = static_weak_boost(snapshot, base, store_.oracle(), cfg_.sim,
+                                    &store_.rebuild_participation());
       } catch (...) {
         err = std::current_exception();
       }
@@ -617,7 +693,8 @@ class DynamicReplayCore {
     {
       const MutexLock lock(slot.mu);
       if (slot.error) std::rethrow_exception(slot.error);
-      m_ = std::move(slot.rebuilt);
+      note_rebuild_result(slot.rebuilt);
+      m_ = std::move(slot.rebuilt.matching);
     }
 
     // Validate the light classification against the rebuilt matching. Window
@@ -710,6 +787,7 @@ class DynamicReplayCore {
   std::int64_t rebuilds_ = 0;
   std::vector<std::int64_t> rebuild_positions_;
   ReplayOverlapStats stats_;
+  RebuildStats rebuild_stats_;
 
   // Reused apply_batch scratch: endpoint marks (epoch-stamped; 64-bit so the
   // epoch cannot wrap within a process lifetime), per-update decision slots,

@@ -68,6 +68,14 @@ class ReplayEngine {
       const = 0;
   /// Rebuild-overlap coverage counters (replay_core.hpp).
   [[nodiscard]] virtual const ReplayOverlapStats& overlap_stats() const = 0;
+  /// Folded Theorem 6.2 rebuild counters (replay_core.hpp) — bit-identical
+  /// across the whole engine grid like every contract counter;
+  /// rebuild_stats().weak_calls == weak_calls() exactly.
+  [[nodiscard]] virtual const RebuildStats& rebuild_stats() const = 0;
+  /// Coordinator message ledger (replay_core.hpp) — all-zero for
+  /// single-participant stores; per-cell deterministic and monotone, but NOT
+  /// part of the cross-cell bit-identity contract.
+  [[nodiscard]] virtual CommStats comm_stats() const = 0;
 
   void insert(Vertex u, Vertex v) { apply(EdgeUpdate::ins(u, v)); }
   void erase(Vertex u, Vertex v) { apply(EdgeUpdate::del(u, v)); }
@@ -136,6 +144,12 @@ class ReplayEngineFacade : public ReplayEngine {
   }
   [[nodiscard]] const ReplayOverlapStats& overlap_stats() const final {
     return self().core_.overlap_stats();
+  }
+  [[nodiscard]] const RebuildStats& rebuild_stats() const final {
+    return self().core_.rebuild_stats();
+  }
+  [[nodiscard]] CommStats comm_stats() const final {
+    return self().store_.comm_stats();
   }
 
  private:

@@ -109,6 +109,15 @@ WeakQueryResult ShardedMatrixOracle::greedy(std::span<const Vertex> rows,
                          cand[k] = probe(rows[k], avail, &words[k]);
                        });
   for (const std::int64_t w : words) words_touched_ += w;
+  // The speculative per-row probe results travel from their owning shards to
+  // the serial commit below: one candidate slot per row, one gather round per
+  // query. (Inline re-probes are coordinator-side reads of already-gathered
+  // rows and are not recharged.) Nothing crosses at a single shard.
+  if (part_.shards() > 1) {
+    query_gather_bytes_ +=
+        count * static_cast<std::int64_t>(sizeof(std::int64_t));
+    ++query_gather_rounds_;
+  }
 
   // Serial greedy commit in row order. The mask only shrinks, so a
   // speculative candidate that is still available equals the live mask's
@@ -154,7 +163,7 @@ WeakQueryResult ShardedMatrixOracle::query_cover_impl(
 ShardedAdjacencyStore::ShardedAdjacencyStore(const VertexPartition& part,
                                              ShardedMatrixOracle& oracle)
     : part_(part), slices_(static_cast<std::size_t>(part.shards())),
-      oracle_(oracle) {
+      oracle_(oracle), participation_(part) {
   for (int s = 0; s < part_.shards(); ++s)
     slices_[static_cast<std::size_t>(s)].resize(
         static_cast<std::size_t>(part_.size(s)));
@@ -217,7 +226,16 @@ bool ShardedAdjacencyStore::toggle(const EdgeUpdate& up) {
     --m_edges_;
     oracle_.on_erase(up.u, up.v);
   }
+  // A serial toggle routes the update's two directed copies like a
+  // one-element batch would (no-ops that toggle nothing send nothing).
+  charge_route(2);
   return true;
+}
+
+void ShardedAdjacencyStore::charge_route(std::int64_t total_ops) {
+  if (part_.shards() <= 1 || total_ops == 0) return;
+  batch_bytes_ += total_ops * static_cast<std::int64_t>(sizeof(ShardOp));
+  ++batch_rounds_;
 }
 
 void ShardedAdjacencyStore::apply_graph_ops(const RoutedOps& ops, int threads) {
@@ -243,6 +261,7 @@ void ShardedAdjacencyStore::apply_structural(
   // Route once; the op lists feed both the adjacency slices and the oracle
   // row ranges.
   const RoutedOps ops = route_structural_ops(part_, updates, structural);
+  charge_route(ops.total_ops);
   apply_graph_ops(ops, threads);
   oracle_.apply_ops(ops, threads);
 }
@@ -251,6 +270,7 @@ void ShardedAdjacencyStore::apply_adjacency(
     std::span<const EdgeUpdate> updates, std::span<const std::uint8_t> structural,
     int threads) {
   RoutedOps ops = route_structural_ops(part_, updates, structural);
+  charge_route(ops.total_ops);
   apply_graph_ops(ops, threads);
   // Keep the routing for the deferred flush_oracle over the same spans (the
   // rebuild-overlap path), so the common window routes once like
@@ -265,10 +285,16 @@ void ShardedAdjacencyStore::flush_oracle(std::span<const EdgeUpdate> updates,
   CachedRoute cached = std::exchange(pending_oracle_route_, {});
   if (cached.updates == updates.data() && cached.flags == structural.data() &&
       cached.count == updates.size()) {
+    // The routed ops already crossed the boundary with apply_adjacency (which
+    // charged them); replaying them into the oracle rows sends nothing new.
     oracle_.apply_ops(cached.ops, threads);
     return;
   }
-  oracle_.apply_ops(route_structural_ops(part_, updates, structural), threads);
+  // Cache miss (the misprediction-rewind suffix): a genuinely new routing
+  // round crosses the boundary.
+  const RoutedOps ops = route_structural_ops(part_, updates, structural);
+  charge_route(ops.total_ops);
+  oracle_.apply_ops(ops, threads);
 }
 
 // ----------------------------------------------------- ShardedDynamicMatcher

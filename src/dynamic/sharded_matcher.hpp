@@ -68,6 +68,7 @@
 #include <span>
 #include <vector>
 
+#include "core/framework.hpp"
 #include "dynamic/replay_core.hpp"
 #include "dynamic/replay_engine.hpp"
 #include "dynamic/weak_oracle.hpp"
@@ -106,6 +107,48 @@ class VertexPartition {
   Vertex n_;
   int k_;
   Vertex block_;
+};
+
+/// The vertex-partition RebuildParticipation policy (core/framework.hpp):
+/// each shard scans the snapshot rows of the vertices it owns into a private
+/// pos-tagged candidate buffer, merged by the coordinator with the canonical
+/// ascending-pos splice — so ordering is inherited, and this class only adds
+/// the rebuild-side message accounting. `note_rebuild_begin` charges the
+/// snapshot distribution (both directed copies of every edge travel to their
+/// row owners), `note_rebuild_gather` one coordinator gather round per
+/// discovery sweep iteration. At shards = 1 nothing crosses a boundary and
+/// both hooks charge nothing, keeping the k = 1 engine's ledger all-zero.
+///
+/// Thread safety: the counters are written only by the thread running the
+/// Theorem 6.2 boost (the rebuild-overlap worker or the caller itself) and
+/// read after its join — the words_touched_ single-writer discipline; no lock.
+class ShardedRebuildParticipation final : public RebuildParticipation {
+ public:
+  explicit ShardedRebuildParticipation(const VertexPartition& part)
+      : part_(part) {}
+
+  [[nodiscard]] int participants() const override { return part_.shards(); }
+  [[nodiscard]] int owner(Vertex v) const override { return part_.owner(v); }
+
+  void note_rebuild_begin(const Graph& snapshot) override {
+    if (part_.shards() <= 1) return;
+    bytes_ += 2 * snapshot.num_edges() *
+              static_cast<std::int64_t>(sizeof(Vertex));
+    ++rounds_;
+  }
+  void note_rebuild_gather(std::int64_t bytes) override {
+    if (part_.shards() <= 1) return;
+    bytes_ += bytes;
+    ++rounds_;
+  }
+
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::int64_t rounds() const { return rounds_; }
+
+ private:
+  const VertexPartition& part_;
+  std::int64_t bytes_ = 0;
+  std::int64_t rounds_ = 0;
 };
 
 /// One directed copy of a structural update, owned by the shard holding
@@ -155,6 +198,17 @@ class ShardedMatrixOracle final : public WeakOracle {
   /// exact, monotone, and thread-count invariant for a fixed shard count.
   [[nodiscard]] std::int64_t words_touched() const { return words_touched_; }
 
+  /// Rebuild-query gather traffic: each A_weak query's speculative probe
+  /// results travel from their owning shards to the serial commit at the
+  /// coordinator (one slot per row, one round per query). Zero at shards = 1.
+  /// Same single-writer discipline as words_touched_ (the boost thread).
+  [[nodiscard]] std::int64_t query_gather_bytes() const {
+    return query_gather_bytes_;
+  }
+  [[nodiscard]] std::int64_t query_gather_rounds() const {
+    return query_gather_rounds_;
+  }
+
  protected:
   WeakQueryResult query_impl(std::span<const Vertex> s, double delta) override;
   WeakQueryResult query_cover_impl(std::span<const Vertex> s_plus,
@@ -177,6 +231,8 @@ class ShardedMatrixOracle final : public WeakOracle {
   std::vector<BitMatrix> slices_;  ///< shard s: size(s) x n rows
   int threads_;
   std::int64_t words_touched_ = 0;
+  std::int64_t query_gather_bytes_ = 0;
+  std::int64_t query_gather_rounds_ = 0;
 };
 
 /// The vertex-partition AdjacencyStore policy: per-shard sorted adjacency
@@ -209,6 +265,23 @@ class ShardedAdjacencyStore {
   void flush_oracle(std::span<const EdgeUpdate> updates,
                     std::span<const std::uint8_t> structural, int threads);
 
+  /// The vertex-partition participation policy the core hands to every
+  /// Theorem 6.2 boost (replay_core.hpp contract).
+  [[nodiscard]] RebuildParticipation& rebuild_participation() {
+    return participation_;
+  }
+  /// Folds the store's boundary traffic — batch routing (charged here),
+  /// rebuild snapshot/gather rounds (participation_), and rebuild-query probe
+  /// gathers (the oracle) — into one ledger. All-zero at shards = 1.
+  [[nodiscard]] CommStats comm_stats() const {
+    CommStats out;
+    out.batch_bytes = batch_bytes_;
+    out.batch_rounds = batch_rounds_;
+    out.rebuild_bytes = participation_.bytes() + oracle_.query_gather_bytes();
+    out.rebuild_rounds = participation_.rounds() + oracle_.query_gather_rounds();
+    return out;
+  }
+
   [[nodiscard]] std::int64_t num_edges() const { return m_edges_; }
 
  private:
@@ -232,12 +305,22 @@ class ShardedAdjacencyStore {
   /// shard replays its list in update order) and updates m_edges_.
   void apply_graph_ops(const RoutedOps& ops, int threads);
 
+  /// Charges one routing round of `total_ops` directed copies to the batch
+  /// ledger; no-op at shards = 1 or for an empty flush (nothing crosses).
+  void charge_route(std::int64_t total_ops);
+
   const VertexPartition& part_;
   /// shard -> local row -> sorted neighbors (the shard's adjacency slice).
   std::vector<std::vector<std::vector<Vertex>>> slices_;
   std::int64_t m_edges_ = 0;
   ShardedMatrixOracle& oracle_;
+  ShardedRebuildParticipation participation_;
   CachedRoute pending_oracle_route_;
+  /// Batch-side comm ledger (routing traffic). Written only by the update
+  /// thread — never by the overlap rebuild worker, which touches only the
+  /// distinct rebuild-side fields above; the worker's join publishes both.
+  std::int64_t batch_bytes_ = 0;
+  std::int64_t batch_rounds_ = 0;
 };
 
 /// The shared replay-core knobs plus the shard count (replay_core.hpp; the
@@ -251,7 +334,9 @@ struct ShardedMatcherConfig : DynamicCoreConfig {
 /// The whole `ReplayEngine` surface — apply/apply_batch (bit-identical to
 /// `DynamicMatcher` on the same stream at any shards x threads),
 /// matching/snapshot/export_snapshot, and the counters incl.
-/// rebuild_positions()/overlap_stats() — is inherited from
+/// rebuild_positions()/overlap_stats()/rebuild_stats()/comm_stats() (the
+/// comm ledger is live at shards > 1, all-zero at shards = 1) — is inherited
+/// from
 /// `ReplayEngineFacade` (replay_engine.hpp); only the oracle-reading
 /// `weak_calls()` and the partition/store extras live here.
 class ShardedDynamicMatcher final

@@ -16,13 +16,14 @@ CoreConfig make_fallback_config(const CoreConfig& core) {
 }  // namespace
 
 WeakOracleDriver::WeakOracleDriver(const Graph& g, WeakOracle& oracle,
-                                   const WeakSimConfig& cfg, std::uint64_t seed)
+                                   const WeakSimConfig& cfg, std::uint64_t seed,
+                                   RebuildParticipation* participation)
     : g_(g),
       oracle_(oracle),
       cfg_(cfg),
       rng_(seed),
       fallback_cfg_(make_fallback_config(cfg.core)),
-      fallback_(g, fallback_oracle_, fallback_cfg_) {}
+      fallback_(g, fallback_oracle_, fallback_cfg_, participation) {}
 
 bool WeakOracleDriver::exhaustive() const {
   return cfg_.strict && cfg_.exhaustive_fallback && fallback_.exhaustive();
@@ -217,10 +218,16 @@ Matching weak_initial_matching(Vertex n, WeakOracle& oracle,
 }
 
 WeakBoostResult static_weak_boost(const Graph& g, Matching m, WeakOracle& oracle,
-                                  const WeakSimConfig& cfg) {
+                                  const WeakSimConfig& cfg,
+                                  RebuildParticipation* participation) {
   WeakBoostResult result{std::move(m), {}, 0, 0, 0};
   const std::int64_t calls_before = oracle.calls();
-  WeakOracleDriver driver(g, oracle, cfg, cfg.core.seed);
+  // The boost begins by distributing the frozen snapshot to the layout's
+  // participants; the in-structure sweeps and local contractions below stay
+  // serial coordinator reads and are deliberately not charged (the exact-cost
+  // accounting caveat, docs/replay_core.md).
+  if (participation != nullptr) participation->note_rebuild_begin(g);
+  WeakOracleDriver driver(g, oracle, cfg, cfg.core.seed, participation);
   PhaseEngine engine(g, cfg.core);
   result.outcome = engine.run(result.matching, driver);
   result.weak_calls = oracle.calls() - calls_before;

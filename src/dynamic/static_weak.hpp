@@ -48,8 +48,12 @@ struct WeakSimConfig {
 
 class WeakOracleDriver final : public PassBundleDriver {
  public:
+  /// `participation` is the storage layout's rebuild-participation policy
+  /// (core/framework.hpp), forwarded to the exhaustive-fallback driver so the
+  /// H'/H'_s sweeps fan out per shard; nullptr = flat single-participant.
   WeakOracleDriver(const Graph& g, WeakOracle& oracle, const WeakSimConfig& cfg,
-                   std::uint64_t seed);
+                   std::uint64_t seed,
+                   RebuildParticipation* participation = nullptr);
 
   void begin_phase(StructureForest& forest) override;
   void extend_active_path(StructureForest& forest) override;
@@ -96,9 +100,12 @@ struct WeakBoostResult {
                                                    const WeakSimConfig& cfg);
 
 /// Boosts an existing matching in place (used by the dynamic rebuilds, which
-/// already hold a maximal matching).
-[[nodiscard]] WeakBoostResult static_weak_boost(const Graph& g, Matching m,
-                                                WeakOracle& oracle,
-                                                const WeakSimConfig& cfg);
+/// already hold a maximal matching). `participation` lets a sharded storage
+/// layout drive the exhaustion sweeps (core/framework.hpp): the boost charges
+/// the snapshot distribution to its ledger and the fallback driver fans
+/// H'/H'_s discovery out per participant — bit-identical results either way.
+[[nodiscard]] WeakBoostResult static_weak_boost(
+    const Graph& g, Matching m, WeakOracle& oracle, const WeakSimConfig& cfg,
+    RebuildParticipation* participation = nullptr);
 
 }  // namespace bmf

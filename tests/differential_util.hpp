@@ -18,6 +18,15 @@
 /// oracle type, but the sharded oracle's speculative probes legitimately
 /// scan more words than the serial `MatrixWeakOracle`, so the two families
 /// are never compared to each other.
+///
+/// The coordinator message ledger (`CommStats`) has a weaker contract still:
+/// per-cell deterministic (pinned by a double run of every sharded k > 1
+/// cell) and monotone batch over batch (audited inside `run_sharded`), with
+/// all-zero ledgers for the flat engine and the k = 1 sharded engine — but
+/// *not* equal across thread counts, because the overlap path's window
+/// grouping changes which routing rounds happen where. `RebuildStats`, by
+/// contrast, is part of the full bit-identity contract and rides inside
+/// `RunResult`.
 
 #include <gtest/gtest.h>
 
@@ -41,6 +50,7 @@ struct RunResult {
   std::int64_t rebuilds = 0;
   std::vector<std::int64_t> rebuild_positions;
   std::int64_t weak_calls = 0;
+  RebuildStats rebuild_stats;
   std::int64_t num_edges = 0;
   std::vector<Edge> graph_edges;
 
@@ -56,6 +66,12 @@ RunResult collect_counters(const Engine& dm, Vertex n) {
   r.rebuilds = dm.rebuilds();
   r.rebuild_positions = dm.rebuild_positions();
   r.weak_calls = dm.weak_calls();
+  r.rebuild_stats = dm.rebuild_stats();
+  // Oracle queries only ever happen inside Theorem 6.2 rebuilds, so the
+  // folded rebuild counters must reconcile exactly with the engine counters
+  // at every grid point.
+  EXPECT_EQ(r.rebuild_stats.weak_calls, r.weak_calls);
+  EXPECT_EQ(r.rebuild_stats.rebuilds, r.rebuilds);
   // The snapshot export hook is part of the contract the service layer
   // builds on: an exported snapshot must reproduce the live matching mate by
   // mate, so pin it at every grid point the differential suites visit.
@@ -72,6 +88,9 @@ inline RunResult collect(const DynamicMatcher& dm) {
   r.num_edges = dm.graph().num_edges();
   const Graph s = dm.graph().snapshot();
   r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  // The flat store is single-participant: nothing ever crosses a shard
+  // boundary, so its ledger is identically zero at every grid point.
+  EXPECT_EQ(dm.comm_stats(), CommStats{});
   return r;
 }
 
@@ -126,7 +145,8 @@ inline RunResult run_sharded(Vertex n, std::span<const EdgeUpdate> ups,
                              const DynamicMatcherConfig& base, int shards,
                              int threads, std::int64_t batch_size,
                              std::int64_t* words_out = nullptr,
-                             ReplayOverlapStats* stats_out = nullptr) {
+                             ReplayOverlapStats* stats_out = nullptr,
+                             CommStats* comm_out = nullptr) {
   const ForceParallelSmallWork force;
   ShardedMatcherConfig cfg;
   static_cast<DynamicCoreConfig&>(cfg) = base;
@@ -134,13 +154,22 @@ inline RunResult run_sharded(Vertex n, std::span<const EdgeUpdate> ups,
   cfg.threads = threads;
   ShardedDynamicMatcher dm(n, cfg);
   std::int64_t last_words = 0;
+  CommStats last_comm;
   for (const auto& batch : slice_updates(ups, batch_size)) {
     dm.apply_batch(batch);
     EXPECT_GE(dm.oracle().words_touched(), last_words);
     last_words = dm.oracle().words_touched();
+    // The ledger is an accumulator: every field is monotone batch over batch.
+    const CommStats comm = dm.comm_stats();
+    EXPECT_GE(comm.batch_bytes, last_comm.batch_bytes);
+    EXPECT_GE(comm.batch_rounds, last_comm.batch_rounds);
+    EXPECT_GE(comm.rebuild_bytes, last_comm.rebuild_bytes);
+    EXPECT_GE(comm.rebuild_rounds, last_comm.rebuild_rounds);
+    last_comm = comm;
   }
   if (words_out != nullptr) *words_out = last_words;
   if (stats_out != nullptr) *stats_out = dm.overlap_stats();
+  if (comm_out != nullptr) *comm_out = dm.comm_stats();
   return collect(dm);
 }
 
@@ -195,8 +224,9 @@ inline void expect_all_engines_equal(Vertex n, std::span<const EdgeUpdate> ups,
     for (const int threads : opt.sharded_threads)
       for (const std::int64_t batch_size : opt.sharded_batch_sizes) {
         std::int64_t words = 0;
-        const RunResult got =
-            run_sharded(n, ups, cfg, shards, threads, batch_size, &words);
+        CommStats comm;
+        const RunResult got = run_sharded(n, ups, cfg, shards, threads,
+                                          batch_size, &words, nullptr, &comm);
         EXPECT_EQ(got, want) << "shards=" << shards << " threads=" << threads
                              << " batch=" << batch_size;
         // The speculative probe schedule is deterministic, so the sharded
@@ -206,6 +236,32 @@ inline void expect_all_engines_equal(Vertex n, std::span<const EdgeUpdate> ups,
         EXPECT_EQ(words, sharded_words)
             << "shards=" << shards << " threads=" << threads
             << " batch=" << batch_size;
+        if (shards == 1) {
+          // No boundary to cross: the one-shard engine's ledger is all-zero,
+          // exactly like the flat engine's.
+          EXPECT_EQ(comm, CommStats{}) << "threads=" << threads;
+        } else {
+          // Real shards move real bytes: every rebuild distributes the
+          // snapshot and gathers sweep candidates, so the rebuild side alone
+          // accounts for at least one round per rebuild.
+          EXPECT_GT(comm.coord_bytes(), 0)
+              << "shards=" << shards << " threads=" << threads;
+          EXPECT_GT(comm.coord_rounds(), 0)
+              << "shards=" << shards << " threads=" << threads;
+          EXPECT_GE(comm.rebuild_rounds, got.rebuilds)
+              << "shards=" << shards << " threads=" << threads;
+          // The ledger is NOT bit-identical across cells, but it is
+          // deterministic within one: a second run of the same cell must
+          // reproduce it field for field (and the whole RunResult with it).
+          CommStats comm2;
+          const RunResult again = run_sharded(n, ups, cfg, shards, threads,
+                                              batch_size, nullptr, nullptr,
+                                              &comm2);
+          EXPECT_EQ(again, got) << "shards=" << shards << " threads=" << threads;
+          EXPECT_EQ(comm2, comm)
+              << "comm ledger diverged on identical replay: shards=" << shards
+              << " threads=" << threads << " batch=" << batch_size;
+        }
       }
 }
 

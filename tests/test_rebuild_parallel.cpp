@@ -17,6 +17,7 @@
 #include "core/oracle.hpp"
 #include "differential_util.hpp"
 #include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/sharded_matcher.hpp"
 #include "dynamic/static_weak.hpp"
 #include "dynamic/weak_oracle.hpp"
 #include "util/rng.hpp"
@@ -113,6 +114,117 @@ TEST(RebuildParallel, StaticWeakMatchingIdenticalAcrossThreadCounts) {
   EXPECT_GT(want.weak_calls, 0);
   for (const int threads : {2, 8})
     EXPECT_EQ(run(threads), want) << "threads=" << threads;
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild participation: shard-owned discovery sweeps vs the flat sweep.
+// ---------------------------------------------------------------------------
+
+/// The Theorem 6.2 boost driven through `ShardedRebuildParticipation`
+/// (sharded_matcher.hpp): each shard scans only the snapshot rows it owns and
+/// the coordinator splices the pos-tagged buffers — the result must be
+/// bit-identical to the flat single-participant sweep at every
+/// (participants x threads), with the ledger charged only for real shards.
+TEST(RebuildParallelParticipation, StaticBoostIdenticalAcrossParticipants) {
+  Rng rng(47);
+  const Graph g = gen_random_graph(70, 240, rng);
+  const ForceParallelSmallWork force;
+
+  const auto run = [&](RebuildParticipation* participation, int threads) {
+    MatrixWeakOracle oracle = MatrixWeakOracle::from_graph(g);
+    WeakSimConfig cfg;
+    cfg.core.eps = 0.5;
+    cfg.core.seed = 11;
+    cfg.core.threads = threads;
+    const WeakBoostResult r =
+        static_weak_boost(g, Matching(g.num_vertices()), oracle, cfg,
+                          participation);
+    WeakFingerprint f;
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      f.mates.push_back(r.matching.mate(v));
+    f.weak_calls = r.weak_calls;
+    f.sampled_iterations = r.sampled_iterations;
+    return f;
+  };
+
+  const WeakFingerprint want = run(nullptr, 1);
+  EXPECT_GT(want.weak_calls, 0);
+  for (const int shards : {1, 2, 4}) {
+    const VertexPartition part(g.num_vertices(), shards);
+    for (const int threads : {1, 8}) {
+      ShardedRebuildParticipation participation(part);
+      EXPECT_EQ(run(&participation, threads), want)
+          << "shards=" << shards << " threads=" << threads;
+      if (shards == 1) {
+        // One participant: nothing crosses, nothing is charged.
+        EXPECT_EQ(participation.bytes(), 0);
+        EXPECT_EQ(participation.rounds(), 0);
+      } else {
+        // The boost distributed the snapshot and gathered sweep candidates.
+        EXPECT_GT(participation.bytes(), 0)
+            << "shards=" << shards << " threads=" << threads;
+        EXPECT_GT(participation.rounds(), 0)
+            << "shards=" << shards << " threads=" << threads;
+        // Deterministic ledger: an identical boost charges identical traffic.
+        ShardedRebuildParticipation again(part);
+        EXPECT_EQ(run(&again, threads), want);
+        EXPECT_EQ(again.bytes(), participation.bytes())
+            << "shards=" << shards << " threads=" << threads;
+        EXPECT_EQ(again.rounds(), participation.rounds())
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(RebuildParallelParticipation, FrameworkDriverHonorsParticipation) {
+  // The A_matching boost through FrameworkDriver directly (no weak-oracle
+  // wrapper): participation fans the H'/H'_s discovery out per shard and the
+  // canonical merge must reproduce the flat sweep's derived graphs exactly —
+  // pinned by matchings, framework stats, and oracle call counts.
+  Rng rng(53);
+  const Graph g = gen_random_graph(60, 220, rng);
+  const ForceParallelSmallWork force;
+
+  struct Fingerprint {
+    std::vector<Vertex> mates;
+    FrameworkStats stats;
+    std::int64_t oracle_calls = 0;
+    bool certified = false;
+  };
+  const auto run = [&](RebuildParticipation* participation, int threads) {
+    RandomGreedyMatchingOracle oracle(7);
+    CoreConfig cfg;
+    cfg.eps = 0.5;
+    cfg.threads = threads;
+    FrameworkDriver driver(g, oracle, cfg, participation);
+    PhaseEngine engine(g, cfg);
+    Matching m(g.num_vertices());
+    const BoostOutcome outcome = engine.run(m, driver);
+    Fingerprint f;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) f.mates.push_back(m.mate(v));
+    f.stats = driver.stats();
+    f.oracle_calls = oracle.calls();
+    f.certified = outcome.certified;
+    return f;
+  };
+
+  const Fingerprint want = run(nullptr, 1);
+  for (const int shards : {2, 4}) {
+    const VertexPartition part(g.num_vertices(), shards);
+    for (const int threads : {1, 8}) {
+      ShardedRebuildParticipation participation(part);
+      const Fingerprint got = run(&participation, threads);
+      EXPECT_EQ(got.mates, want.mates)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(got.stats.stage_loops, want.stats.stage_loops);
+      EXPECT_EQ(got.stats.stage_iterations, want.stats.stage_iterations);
+      EXPECT_EQ(got.stats.ca_iterations, want.stats.ca_iterations);
+      EXPECT_EQ(got.stats.truncated_loops, want.stats.truncated_loops);
+      EXPECT_EQ(got.oracle_calls, want.oracle_calls);
+      EXPECT_EQ(got.certified, want.certified);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -98,6 +98,43 @@ TEST_P(ReplayCoreDifferential, MixedChurnFixedCadence) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplayCoreDifferential,
                          ::testing::Values(1u, 2u, 3u));
 
+TEST(ReplayCoreStats, RebuildStatsFoldAcrossOverlapAndSerialPaths) {
+  // rebuild_stats() folds every boost the core ran — serial rebuilds and
+  // overlapped ones alike — and is part of the bit-identity contract, read
+  // here through the abstract ReplayEngine surface. The flat engine's comm
+  // ledger stays identically zero on every path.
+  Rng rng(31);
+  const auto ups = dyn_mixed_churn(40, 320, rng);
+  RebuildStats want;
+  bool first = true;
+  for (const bool overlap : {true, false})
+    for (const int threads : {1, 8}) {
+      const ForceParallelSmallWork force;
+      DynamicMatcherConfig cfg;
+      cfg.eps = 0.25;
+      cfg.seed = 31;
+      cfg.rebuild_every = 14;
+      cfg.threads = threads;
+      cfg.overlap_rebuild = overlap;
+      MatrixWeakOracle oracle(40);
+      DynamicMatcher dm(40, oracle, cfg);
+      for (const auto& batch : slice_updates(ups, 64)) dm.apply_batch(batch);
+      const ReplayEngine& engine = dm;
+      const RebuildStats got = engine.rebuild_stats();
+      EXPECT_EQ(got.rebuilds, engine.rebuilds());
+      EXPECT_EQ(got.weak_calls, engine.weak_calls());
+      EXPECT_GT(got.rebuilds, 0);
+      EXPECT_LE(got.certified, got.rebuilds);
+      EXPECT_EQ(engine.comm_stats(), CommStats{})
+          << "overlap=" << overlap << " threads=" << threads;
+      if (first) {
+        want = got;
+        first = false;
+      }
+      EXPECT_EQ(got, want) << "overlap=" << overlap << " threads=" << threads;
+    }
+}
+
 TEST(ReplayCoreDifferential, MixedChurnStreamIsValid) {
   Rng rng(21);
   const auto ups = dyn_mixed_churn(32, 400, rng);

@@ -314,6 +314,132 @@ TEST(ShardedDifferential, InvalidUpdateRejectedBeforeMutation) {
   EXPECT_EQ(dm.num_edges(), 0);
 }
 
+// ------------------------------------------- rebuild participation + comm
+
+/// The per-shard Theorem 6.2 rebuild-participation fan-out
+/// (core/framework.hpp via the replay_core.hpp store contract): shard-owned
+/// discovery sweeps merged in canonical order must keep the whole contract
+/// bit-identical, and the comm ledger must be per-cell deterministic,
+/// monotone, and zero whenever only one participant exists.
+TEST(ShardedRebuildParticipation, PlantedTeardownGrid) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed + 900);
+    const auto ups = dyn_planted_teardown(16, 3, rng);
+    DynamicMatcherConfig cfg;
+    cfg.eps = 1.0;
+    cfg.seed = seed;
+    testdiff::GridOptions opt;
+    opt.flat_threads = {};  // sharded focus
+    testdiff::expect_all_engines_equal(2 * 16 + 3, ups, cfg, opt);
+  }
+}
+
+TEST(ShardedRebuildParticipation, RebuildStormGrid) {
+  // A tiny fixed rebuild cadence turns the stream into a rebuild storm, so
+  // the participation sweeps (not the update path) dominate every cell.
+  for (const std::uint64_t seed : {1u, 2u}) {
+    Rng rng(seed + 950);
+    const auto ups = dyn_mixed_churn(48, 360, rng);
+    DynamicMatcherConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = seed;
+    cfg.rebuild_every = 8;
+    testdiff::GridOptions opt;
+    opt.flat_threads = {};
+    opt.min_rebuilds = 20;
+    testdiff::expect_all_engines_equal(48, ups, cfg, opt);
+  }
+}
+
+TEST(ShardedRebuildParticipation, CommLedgerMonotoneMidStream) {
+  Rng rng(21);
+  const auto ups = dyn_shard_partitioned(48, 4, 380, 0.7, 0.7, rng);
+  const ForceParallelSmallWork force;
+  ShardedMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.seed = 21;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  ShardedDynamicMatcher dm(48, cfg);
+  CommStats last;
+  for (const auto& batch : slice_updates(ups, 32)) {
+    dm.apply_batch(batch);
+    const CommStats comm = dm.comm_stats();
+    EXPECT_GE(comm.batch_bytes, last.batch_bytes);
+    EXPECT_GE(comm.batch_rounds, last.batch_rounds);
+    EXPECT_GE(comm.rebuild_bytes, last.rebuild_bytes);
+    EXPECT_GE(comm.rebuild_rounds, last.rebuild_rounds);
+    last = comm;
+  }
+  // Real shards moved real bytes on both sides of the ledger: updates routed
+  // ops and every rebuild distributed its snapshot.
+  EXPECT_GT(last.batch_bytes, 0);
+  EXPECT_GT(last.batch_rounds, 0);
+  EXPECT_GT(last.rebuild_bytes, 0);
+  EXPECT_GE(last.rebuild_rounds, dm.rebuilds());
+  EXPECT_EQ(last.coord_bytes(), last.batch_bytes + last.rebuild_bytes);
+  EXPECT_EQ(last.coord_rounds(), last.batch_rounds + last.rebuild_rounds);
+}
+
+TEST(ShardedRebuildParticipation, CommLedgerZeroForSingleParticipant) {
+  Rng rng(22);
+  const auto ups = dyn_random_updates(40, 300, 0.7, rng);
+  const ForceParallelSmallWork force;
+  for (const int threads : {1, 8}) {
+    // Sharded engine at k = 1: one participant, no boundary, zero ledger.
+    ShardedMatcherConfig scfg;
+    scfg.eps = 0.25;
+    scfg.seed = 22;
+    scfg.shards = 1;
+    scfg.threads = threads;
+    ShardedDynamicMatcher sharded(40, scfg);
+    for (const auto& batch : slice_updates(ups, 64)) sharded.apply_batch(batch);
+    EXPECT_GT(sharded.rebuilds(), 0);
+    EXPECT_EQ(sharded.comm_stats(), CommStats{}) << "threads=" << threads;
+
+    // Flat engine: same story through the ReplayEngine surface.
+    DynamicMatcherConfig fcfg;
+    fcfg.eps = 0.25;
+    fcfg.seed = 22;
+    fcfg.threads = threads;
+    MatrixWeakOracle oracle(40);
+    DynamicMatcher flat(40, oracle, fcfg);
+    for (const auto& batch : slice_updates(ups, 64)) flat.apply_batch(batch);
+    const ReplayEngine& engine = flat;
+    EXPECT_EQ(engine.comm_stats(), CommStats{}) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedRebuildParticipation, RebuildStatsReconcileWithEngineCounters) {
+  Rng rng(23);
+  const auto ups = dyn_churn_planted(40, 320, rng);
+  const ForceParallelSmallWork force;
+  RebuildStats want;
+  bool first = true;
+  for (const int shards : {1, 4}) {
+    ShardedMatcherConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = 23;
+    cfg.shards = shards;
+    cfg.threads = 2;
+    ShardedDynamicMatcher dm(40, cfg);
+    for (const auto& batch : slice_updates(ups, 64)) dm.apply_batch(batch);
+    const RebuildStats got = dm.rebuild_stats();
+    EXPECT_EQ(got.rebuilds, dm.rebuilds());
+    EXPECT_EQ(got.weak_calls, dm.weak_calls());
+    EXPECT_GT(got.rebuilds, 0);
+    EXPECT_GE(got.sampled_iterations, 0);
+    EXPECT_LE(got.certified, got.rebuilds);
+    // Participation changes where sweeps run, never what they compute: the
+    // folded rebuild counters are bit-identical across shard counts.
+    if (first) {
+      want = got;
+      first = false;
+    }
+    EXPECT_EQ(got, want) << "shards=" << shards;
+  }
+}
+
 TEST(ShardedWorkloads, ShardPartitionedStreamIsValidAndSkewed) {
   Rng rng(13);
   const int shards = 4;

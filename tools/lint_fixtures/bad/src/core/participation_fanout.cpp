@@ -1,0 +1,22 @@
+// Lint fixture (known-bad): a rebuild-participation discovery sweep fans out
+// over (structure x participant) slots with the raw config thread count —
+// single-participant stores pay the pool round-trip and the gate discipline
+// that keeps tiny sweeps serial is broken.
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+
+void sweep_slots(int threads, int num_structures, int participants,
+                 std::vector<std::int64_t>& gathered) {
+  const auto nslots =
+      static_cast<std::int64_t>(num_structures) * participants;
+  parallel_for_threads(threads,  // BAD: ungated
+                       nslots, [&](std::int64_t slot) {
+                         gathered[static_cast<std::size_t>(slot)] += 1;
+                       });
+}
+
+}  // namespace bmf

@@ -1,0 +1,31 @@
+// Lint fixture (good twin): the (structure x participant) slot fan-out is
+// gated on the slot count, mirroring the discovery_thread_gate idiom in
+// src/core/framework.cpp — single-participant stores with few structures
+// stay serial, many-slot sweeps open up to the config thread count.
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+namespace {
+
+constexpr std::int64_t kMinSlotsPerThread = 4;
+
+int participation_thread_gate(std::int64_t nslots, int threads) {
+  return gated_threads(nslots, kMinSlotsPerThread, threads);
+}
+
+}  // namespace
+
+void sweep_slots(int threads, int num_structures, int participants,
+                 std::vector<std::int64_t>& gathered) {
+  const auto nslots =
+      static_cast<std::int64_t>(num_structures) * participants;
+  const int sweep_threads = participation_thread_gate(nslots, threads);
+  parallel_for_threads(sweep_threads, nslots, [&](std::int64_t slot) {
+    gathered[static_cast<std::size_t>(slot)] += 1;
+  });
+}
+
+}  // namespace bmf
