@@ -42,6 +42,7 @@
 /// `FlatRebuildParticipation` is the trivial single-participant case and the
 /// default when no participation is supplied.
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -110,6 +111,27 @@ class FlatRebuildParticipation final : public RebuildParticipation {
   [[nodiscard]] int participants() const override { return 1; }
   [[nodiscard]] int owner(Vertex /*v*/) const override { return 0; }
 };
+
+/// The compile-time face of the participation contract: a type usable where
+/// the rebuild sweeps expect a participation policy. Derivation from
+/// `RebuildParticipation` carries the virtual dispatch the driver uses; the
+/// requires-clause re-states the load-bearing surface so a policy that
+/// shadows (rather than overrides) a member is rejected at the concept, with
+/// a readable diagnostic, instead of at an eventual wrong vtable call. The
+/// semantic half of the contract — `merge` reproduces flat scan order
+/// exactly — stays with the class comment above; concepts check shape only.
+template <class P>
+concept RebuildParticipationPolicy =
+    std::derived_from<P, RebuildParticipation> &&
+    requires(const P& p, Vertex v, std::span<const std::vector<SweepArc>> bufs,
+             std::vector<SweepArc>& out) {
+      { p.participants() } -> std::convertible_to<int>;
+      { p.owner(v) } -> std::convertible_to<int>;
+      p.merge(bufs, out);
+    };
+
+static_assert(RebuildParticipationPolicy<FlatRebuildParticipation>,
+              "FlatRebuildParticipation must model RebuildParticipationPolicy");
 
 struct FrameworkStats {
   std::int64_t stage_loops = 0;       ///< (stage, pass-bundle) pairs simulated

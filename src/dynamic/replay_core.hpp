@@ -17,7 +17,10 @@
 ///  * `ShardedAdjacencyStore` (sharded_matcher.hpp) — per-shard adjacency
 ///    slices plus the row-sharded `ShardedMatrixOracle`.
 ///
-/// The policy contract an AdjacencyStore must satisfy:
+/// The policy contract an AdjacencyStore must satisfy — machine-checked by
+/// the `bmf::AdjacencyStorePolicy` concept below (shape) and by the
+/// `DynamicReplayCore` static_assert cascade (one named diagnostic per
+/// missing member; exercised by tests/compile_fail/):
 ///
 ///   Vertex num_vertices() const;
 ///   bool has_edge(Vertex u, Vertex v) const;          // O(log deg)
@@ -96,6 +99,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <exception>
 #include <span>
@@ -197,6 +201,97 @@ struct RebuildStats {
   friend bool operator==(const RebuildStats&, const RebuildStats&) = default;
 };
 
+/// Per-member concepts behind `AdjacencyStorePolicy`. Split so the
+/// static_asserts inside `DynamicReplayCore` can name the exact member a
+/// candidate store is missing (one diagnostic per hole — see
+/// tests/compile_fail/, which compiles a store with each member removed and
+/// greps for the matching message) instead of surfacing as a wall of
+/// unrelated template errors.
+namespace store_contract {
+
+template <class S>
+concept HasNumVertices = requires(const S& s) {
+  { s.num_vertices() } -> std::convertible_to<Vertex>;
+};
+
+template <class S>
+concept HasHasEdge = requires(const S& s, Vertex u, Vertex v) {
+  { s.has_edge(u, v) } -> std::convertible_to<bool>;
+};
+
+template <class S>
+concept HasNeighbors = requires(const S& s, Vertex v) {
+  { s.neighbors(v) } -> std::convertible_to<std::span<const Vertex>>;
+};
+
+template <class S>
+concept HasSnapshot = requires(const S& s) {
+  { s.snapshot() } -> std::same_as<Graph>;
+};
+
+template <class S>
+concept HasOracle = requires(S& s) {
+  { s.oracle() } -> std::convertible_to<WeakOracle&>;
+};
+
+template <class S>
+concept HasUseBatchEngine = requires(const S& s, int threads) {
+  { s.use_batch_engine(threads) } -> std::convertible_to<bool>;
+};
+
+template <class S>
+concept HasToggle = requires(S& s, const EdgeUpdate& up) {
+  { s.toggle(up) } -> std::convertible_to<bool>;
+};
+
+template <class S>
+concept HasApplyStructural =
+    requires(S& s, std::span<const EdgeUpdate> ups,
+             std::span<const std::uint8_t> flags, int threads) {
+      s.apply_structural(ups, flags, threads);
+    };
+
+template <class S>
+concept HasApplyAdjacency =
+    requires(S& s, std::span<const EdgeUpdate> ups,
+             std::span<const std::uint8_t> flags, int threads) {
+      s.apply_adjacency(ups, flags, threads);
+    };
+
+template <class S>
+concept HasFlushOracle =
+    requires(S& s, std::span<const EdgeUpdate> ups,
+             std::span<const std::uint8_t> flags, int threads) {
+      s.flush_oracle(ups, flags, threads);
+    };
+
+template <class S>
+concept HasRebuildParticipation = requires(S& s) {
+  { s.rebuild_participation() } -> std::convertible_to<RebuildParticipation&>;
+};
+
+template <class S>
+concept HasCommStats = requires(const S& s) {
+  { s.comm_stats() } -> std::same_as<CommStats>;
+};
+
+}  // namespace store_contract
+
+/// The AdjacencyStore policy contract (file comment above) as a C++20
+/// concept: exactly the surface `DynamicReplayCore` drives. The concept
+/// checks shape; the semantic obligations (ascending `neighbors`, snapshot
+/// order == DynGraph order, `toggle`'s changed-presence return, the
+/// deferred-oracle split of the batch trio, participation merge order) stay
+/// prose — they are pinned by the differential harness, not the type system.
+template <class S>
+concept AdjacencyStorePolicy =
+    store_contract::HasNumVertices<S> && store_contract::HasHasEdge<S> &&
+    store_contract::HasNeighbors<S> && store_contract::HasSnapshot<S> &&
+    store_contract::HasOracle<S> && store_contract::HasUseBatchEngine<S> &&
+    store_contract::HasToggle<S> && store_contract::HasApplyStructural<S> &&
+    store_contract::HasApplyAdjacency<S> && store_contract::HasFlushOracle<S> &&
+    store_contract::HasRebuildParticipation<S> && store_contract::HasCommStats<S>;
+
 /// The flat single-node AdjacencyStore policy: a `DynGraph` plus a borrowed
 /// `WeakOracle`. `DynamicMatcher` is a facade over
 /// `DynamicReplayCore<FlatAdjacencyStore>`.
@@ -253,10 +348,54 @@ class FlatAdjacencyStore {
   FlatRebuildParticipation participation_;
 };
 
+static_assert(AdjacencyStorePolicy<FlatAdjacencyStore>,
+              "FlatAdjacencyStore must model AdjacencyStorePolicy");
+
 /// The shared decision machinery. One instance per engine facade; `Store` is
 /// the AdjacencyStore policy (see the file comment for the contract).
+///
+/// The static_assert cascade fires at instantiation, one named diagnostic
+/// per missing contract member, before the member bodies get a chance to
+/// spray unrelated errors; the final assert is the whole concept, so a store
+/// failing in a way no per-member assert names is still rejected here.
 template <class Store>
 class DynamicReplayCore {
+  static_assert(store_contract::HasNumVertices<Store>,
+                "AdjacencyStore contract: missing 'Vertex num_vertices() const'");
+  static_assert(store_contract::HasHasEdge<Store>,
+                "AdjacencyStore contract: missing "
+                "'bool has_edge(Vertex, Vertex) const'");
+  static_assert(store_contract::HasNeighbors<Store>,
+                "AdjacencyStore contract: missing "
+                "'std::span<const Vertex> neighbors(Vertex) const'");
+  static_assert(store_contract::HasSnapshot<Store>,
+                "AdjacencyStore contract: missing 'Graph snapshot() const'");
+  static_assert(store_contract::HasOracle<Store>,
+                "AdjacencyStore contract: missing 'WeakOracle& oracle()'");
+  static_assert(store_contract::HasUseBatchEngine<Store>,
+                "AdjacencyStore contract: missing "
+                "'bool use_batch_engine(int) const'");
+  static_assert(store_contract::HasToggle<Store>,
+                "AdjacencyStore contract: missing "
+                "'bool toggle(const EdgeUpdate&)'");
+  static_assert(store_contract::HasApplyStructural<Store>,
+                "AdjacencyStore contract: missing "
+                "'void apply_structural(updates, flags, threads)'");
+  static_assert(store_contract::HasApplyAdjacency<Store>,
+                "AdjacencyStore contract: missing "
+                "'void apply_adjacency(updates, flags, threads)'");
+  static_assert(store_contract::HasFlushOracle<Store>,
+                "AdjacencyStore contract: missing "
+                "'void flush_oracle(updates, flags, threads)'");
+  static_assert(store_contract::HasRebuildParticipation<Store>,
+                "AdjacencyStore contract: missing "
+                "'RebuildParticipation& rebuild_participation()'");
+  static_assert(store_contract::HasCommStats<Store>,
+                "AdjacencyStore contract: missing 'CommStats comm_stats() const'");
+  static_assert(AdjacencyStorePolicy<Store>,
+                "Store does not model bmf::AdjacencyStorePolicy "
+                "(see src/dynamic/replay_core.hpp)");
+
  public:
   /// `cfg` must already be resolved (resolve_core_config) and validated.
   DynamicReplayCore(Store& store, const DynamicCoreConfig& cfg)
@@ -658,6 +797,7 @@ class DynamicReplayCore {
       WeakBoostResult boosted;
       std::exception_ptr err;
       try {
+        // bmf-analyzer: allow(single-writer-ledger) -- join publishes these
         boosted = static_weak_boost(snapshot, base, store_.oracle(), cfg_.sim,
                                     &store_.rebuild_participation());
       } catch (...) {

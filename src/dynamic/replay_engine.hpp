@@ -115,6 +115,10 @@ inline LiveEngineView ReplayEngine::view() const { return LiveEngineView(*this);
 /// facade's concrete oracle.
 template <class Derived, class Store>
 class ReplayEngineFacade : public ReplayEngine {
+  static_assert(AdjacencyStorePolicy<Store>,
+                "ReplayEngineFacade's Store must model "
+                "bmf::AdjacencyStorePolicy (src/dynamic/replay_core.hpp)");
+
  public:
   void apply(const EdgeUpdate& update) final { self().core_.apply(update); }
   void apply_batch(std::span<const EdgeUpdate> batch) final {

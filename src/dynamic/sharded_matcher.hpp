@@ -323,6 +323,12 @@ class ShardedAdjacencyStore {
   std::int64_t batch_rounds_ = 0;
 };
 
+static_assert(AdjacencyStorePolicy<ShardedAdjacencyStore>,
+              "ShardedAdjacencyStore must model AdjacencyStorePolicy");
+static_assert(RebuildParticipationPolicy<ShardedRebuildParticipation>,
+              "ShardedRebuildParticipation must model "
+              "RebuildParticipationPolicy");
+
 /// The shared replay-core knobs plus the shard count (replay_core.hpp; the
 /// flat facade derives from the same struct, so the engines cannot drift).
 struct ShardedMatcherConfig : DynamicCoreConfig {

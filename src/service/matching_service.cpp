@@ -34,8 +34,10 @@ SnapshotReader::~SnapshotReader() {
     const MutexLock registry_lock(svc_->registry_mutex_);
     std::erase(svc_->readers_, this);
     const MutexLock stats_lock(svc_->stats_mutex_);
+    // relaxed-ok: reader-owned counter; this is the owning thread's own load
     svc_->wstats_.reads += reads_.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < staleness_hist_.size(); ++b)
+      // relaxed-ok: same reader-owned histogram, folded by its own thread
       svc_->wstats_.staleness_hist[b] +=
           staleness_hist_[b].load(std::memory_order_relaxed);
   }
@@ -55,8 +57,9 @@ const MatchingSnapshot& SnapshotReader::refresh() const {
   last_staleness_ = std::max<std::int64_t>(0, e_now - snap_->epoch());
   const auto bucket = static_cast<std::size_t>(
       std::min(last_staleness_, svc_->cfg_.max_lag + 1));
+  // relaxed-ok: reader-private stat counters; stats() readers tolerate lag
   staleness_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: same as above
   if (e_now != last_observed_) {
     last_observed_ = e_now;
     if (svc_->cfg_.stall_writer) {
@@ -65,10 +68,12 @@ const MatchingSnapshot& SnapshotReader::refresh() const {
       // check and its wait, losing the wakeup.
       {
         const MutexLock lock(svc_->registry_mutex_);
+        // relaxed-ok: registry lock + stall_cv_ order this SSP clock advance
         observed_.store(e_now, std::memory_order_relaxed);
       }
       svc_->stall_cv_.notify_all();
     } else {
+      // relaxed-ok: stall gate off — only lag-tolerant stats read this clock
       observed_.store(e_now, std::memory_order_relaxed);
     }
   }
@@ -185,6 +190,7 @@ void MatchingService::close() {
 std::int64_t MatchingService::min_observed_locked() const {
   std::int64_t lo = published_epoch_.load(std::memory_order_acquire);
   for (const SnapshotReader* r : readers_)
+    // relaxed-ok: staleness-tolerant lower bound; cv wakeups re-evaluate it
     lo = std::min(lo, r->observed_.load(std::memory_order_relaxed));
   return lo;
 }
@@ -204,6 +210,7 @@ void MatchingService::writer_loop() {
 
     Timer timer;
     engine_->apply_batch(batch);
+    // relaxed-ok: the single writer reads its own last epoch store
     const std::int64_t epoch =
         published_epoch_.load(std::memory_order_relaxed) + 1;
     auto snap = std::make_shared<const MatchingSnapshot>(
@@ -263,8 +270,10 @@ ServiceStats MatchingService::stats() const {
     out = wstats_;
   }
   for (const SnapshotReader* r : readers_) {
+    // relaxed-ok: monotone live-reader counters; a stats() snapshot may lag
     out.reads += r->reads_.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < out.staleness_hist.size(); ++b)
+      // relaxed-ok: same lag-tolerant histogram read as above
       out.staleness_hist[b] +=
           r->staleness_hist_[b].load(std::memory_order_relaxed);
   }

@@ -44,6 +44,7 @@ void ThreadPool::submit(std::function<void()> task) {
     task();
     return;
   }
+  // relaxed-ok: routing hint only — any interleaving distributes work fine
   const std::size_t idx =
       round_robin_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
@@ -140,6 +141,7 @@ void ThreadPool::parallel_for(std::int64_t n,
 
   const auto drain = [&] {
     for (;;) {
+      // relaxed-ok: index claim; fetch_add atomicity alone partitions the range
       const std::int64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
@@ -188,11 +190,13 @@ std::atomic<bool> g_force_parallel_small_work{false};
 }  // namespace
 
 int gated_threads(std::int64_t work, std::int64_t min_work, int threads) {
+  // relaxed-ok: test-only toggle, flipped before the pool is exercised
   if (g_force_parallel_small_work.load(std::memory_order_relaxed)) return threads;
   return work >= min_work ? threads : 1;
 }
 
 void force_parallel_small_work(bool force) {
+  // relaxed-ok: test-only toggle, flipped before the pool is exercised
   g_force_parallel_small_work.store(force, std::memory_order_relaxed);
 }
 

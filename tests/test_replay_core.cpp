@@ -516,5 +516,105 @@ TEST(ReplayCoreConfig, SharedBaseCopiesWholesaleAcrossFacades) {
   EXPECT_EQ(got, want);
 }
 
+// ---------------------------------------------------------------------------
+// AdjacencyStore contract sufficiency (replay_core.hpp concepts).
+// ---------------------------------------------------------------------------
+
+/// Implements exactly the documented AdjacencyStorePolicy surface and nothing
+/// else — no graph() accessor, no facade, no extras. If this store drives the
+/// core bit-identically to the flat engine, the written contract is
+/// *sufficient*; the compile-fail harness (tests/compile_fail/) proves each
+/// member is *necessary*. Together they pin the contract from both sides.
+class MinimalStore {
+ public:
+  MinimalStore(Vertex n, WeakOracle& oracle) : g_(n), oracle_(oracle) {}
+
+  [[nodiscard]] Vertex num_vertices() const { return g_.num_vertices(); }
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const { return g_.has_edge(u, v); }
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    return g_.neighbors(v);
+  }
+  [[nodiscard]] Graph snapshot() const { return g_.snapshot(); }
+  [[nodiscard]] WeakOracle& oracle() { return oracle_; }
+  [[nodiscard]] bool use_batch_engine(int threads) const { return threads > 1; }
+
+  bool toggle(const EdgeUpdate& up) {
+    const bool changed = up.insert ? g_.insert(up.u, up.v) : g_.erase(up.u, up.v);
+    if (changed) {
+      if (up.insert)
+        oracle_.on_insert(up.u, up.v);
+      else
+        oracle_.on_erase(up.u, up.v);
+    }
+    return changed;
+  }
+
+  void apply_structural(std::span<const EdgeUpdate> updates,
+                        std::span<const std::uint8_t> structural, int threads) {
+    g_.apply_structural_disjoint(updates, structural, threads);
+    oracle_.on_batch(updates, structural, threads);
+  }
+  void apply_adjacency(std::span<const EdgeUpdate> updates,
+                       std::span<const std::uint8_t> structural, int threads) {
+    g_.apply_structural_disjoint(updates, structural, threads);
+  }
+  void flush_oracle(std::span<const EdgeUpdate> updates,
+                    std::span<const std::uint8_t> structural, int threads) {
+    oracle_.on_batch(updates, structural, threads);
+  }
+
+  [[nodiscard]] RebuildParticipation& rebuild_participation() {
+    return participation_;
+  }
+  [[nodiscard]] CommStats comm_stats() const { return {}; }
+
+ private:
+  DynGraph g_;
+  WeakOracle& oracle_;
+  FlatRebuildParticipation participation_;
+};
+
+static_assert(AdjacencyStorePolicy<MinimalStore>,
+              "the documented contract surface must satisfy the concept");
+
+TEST(ReplayCoreContract, MinimalStoreIsSufficientAndBitIdentical) {
+  constexpr Vertex n = 40;
+  Rng rng(77);
+  const auto ups = dyn_mixed_churn(n, 320, rng);
+
+  // Reference: the flat facade on the serial apply loop.
+  DynamicMatcherConfig ref_cfg;
+  ref_cfg.eps = 0.25;
+  ref_cfg.seed = 77;
+  ref_cfg.rebuild_every = 14;
+  ref_cfg.threads = 1;
+  MatrixWeakOracle ref_oracle(n);
+  DynamicMatcher ref(n, ref_oracle, ref_cfg);
+  for (const auto& up : ups) ref.apply(up);
+  ASSERT_GT(ref.rebuilds(), 0);
+
+  for (const int threads : {1, 8}) {
+    const ForceParallelSmallWork force;
+    DynamicCoreConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = 77;
+    cfg.rebuild_every = 14;
+    cfg.threads = threads;
+    validate_core_config(cfg, /*shards=*/1, "MinimalStore");
+    MatrixWeakOracle oracle(n);
+    MinimalStore store(n, oracle);
+    DynamicReplayCore<MinimalStore> core(store, resolve_core_config(cfg));
+    for (const auto& batch : slice_updates(ups, 64)) core.apply_batch(batch);
+
+    EXPECT_EQ(core.rebuild_positions(), ref.rebuild_positions())
+        << "threads=" << threads;
+    EXPECT_EQ(core.rebuild_stats(), ref.rebuild_stats()) << "threads=" << threads;
+    EXPECT_EQ(core.matching().size(), ref.matching().size());
+    for (Vertex v = 0; v < n; ++v)
+      EXPECT_EQ(core.matching().mate(v), ref.matching().mate(v))
+          << "threads=" << threads << " v=" << v;
+  }
+}
+
 }  // namespace
 }  // namespace bmf

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""bmf-analyzer CLI — whole-tree determinism/concurrency analysis.
+
+Runs the four program-level rules (see package docstring / the rule
+modules) over a set of C++ files and prints findings in the familiar
+``path:line: [rule] message`` shape.
+
+Usage:
+    python3 tools/analyzer/bmf_analyzer.py               # analyzes <repo>/src
+    python3 tools/analyzer/bmf_analyzer.py path...       # given files/dirs
+    python3 tools/analyzer/bmf_analyzer.py --rules lock-order,relaxed-audit
+    python3 tools/analyzer/bmf_analyzer.py --taint-all tests/  # nightly mode
+
+Exit status 0 = clean, 1 = findings, 2 = usage/configuration error.
+
+The lock-order whitelist and the ledger field list live in
+``lock_order_manifest.json`` next to this script (``--manifest`` to
+override — the fixture suite points it at a fixture-local manifest).
+Suppression: ``// bmf-analyzer: allow(<rule>) -- <reason>`` on the
+flagged line or the line above; unknown rule names in suppressions are
+themselves rejected by the determinism lint's stale-suppression check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import rules_atomics  # noqa: E402
+import rules_ledger  # noqa: E402
+import rules_locks  # noqa: E402
+import rules_taint  # noqa: E402
+import source_model as sm  # noqa: E402
+
+
+def repo_root() -> str:
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+
+
+def default_manifest_path() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "lock_order_manifest.json"
+    )
+
+
+def analyze(
+    paths: list[str],
+    manifest: dict,
+    rules: set[str],
+    use_libclang: str = "auto",
+    taint_all: bool = False,
+) -> list[sm.Finding]:
+    try:
+        file_paths = sm.collect_files(paths)
+    except FileNotFoundError as e:
+        print(f"bmf_analyzer: no such path: {e}", file=sys.stderr)
+        sys.exit(2)
+    files = [sm.parse_file(p) for p in file_paths]
+    findings: list[sm.Finding] = []
+    if "unordered-order-taint" in rules:
+        findings.extend(
+            rules_taint.check(
+                files,
+                use_libclang=use_libclang,
+                canonical_methods=set(
+                    manifest.get("canonical_methods", ["merge"])
+                ),
+                taint_all=taint_all,
+            )
+        )
+    if "lock-order" in rules:
+        findings.extend(rules_locks.check(files, manifest))
+    if "relaxed-audit" in rules or "publication-order" in rules:
+        atomics = rules_atomics.check(files)
+        findings.extend(
+            f
+            for f in atomics
+            if f.rule in rules
+        )
+    if "single-writer-ledger" in rules:
+        findings.extend(rules_ledger.check(files, manifest))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="bmf program-level determinism analyzer "
+        "(see module docstring)"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: <repo>/src)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=default_manifest_path(),
+        help="lock-order/ledger manifest JSON "
+        "(default: tools/analyzer/lock_order_manifest.json)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=",".join(sm.RULES),
+        help="comma-separated rule subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--use-libclang",
+        choices=("auto", "no", "require"),
+        default="auto",
+        help="confirm taint sources against the clang AST when the python "
+        "bindings are importable (default: auto; the structural frontend "
+        "is canonical)",
+    )
+    parser.add_argument(
+        "--taint-all",
+        action="store_true",
+        help="run the taint rule outside src/core|dynamic|graph too "
+        "(nightly sweep over tests/)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule names and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in sm.RULES:
+            print(rule)
+        return 0
+    rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+    unknown = rules - set(sm.RULES)
+    if unknown:
+        print(
+            f"bmf_analyzer: unknown rule(s): {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open(args.manifest, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bmf_analyzer: cannot read manifest: {e}", file=sys.stderr)
+        return 2
+    paths = args.paths or [os.path.join(repo_root(), "src")]
+    try:
+        findings = analyze(
+            paths, manifest, rules, args.use_libclang, args.taint_all
+        )
+    except RuntimeError as e:  # --use-libclang require without bindings
+        print(f"bmf_analyzer: {e}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"bmf_analyzer: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,23 @@
+// Analyzer fixture (known-bad): unordered-order-taint, direct flow.
+// Edges collected from a hash map in iteration order feed the oracle
+// without canonicalization. Fixtures are analyzer inputs, not build inputs.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct OracleGraph {
+  std::vector<std::int64_t> edges;
+};
+struct Oracle {
+  int find_matching(const OracleGraph& g);
+};
+
+int commit_pairs(Oracle& oracle,
+                 const std::unordered_map<std::int64_t, int>& pair_witness) {
+  OracleGraph h;
+  for (const auto& [key, wx] : pair_witness) {
+    (void)wx;
+    h.edges.push_back(key);  // hash order escapes into h
+  }
+  return oracle.find_matching(h);  // BAD: uncanonicalized hash order
+}

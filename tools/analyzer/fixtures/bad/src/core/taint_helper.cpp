@@ -1,0 +1,23 @@
+// Analyzer fixture (known-bad): unordered-order-taint, one helper level.
+// The helper returns keys in hash-iteration order; the caller commits them
+// to the matching without sorting. Fixtures are analyzer inputs, not build
+// inputs.
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct Matching {
+  void add(std::int64_t u, std::int64_t v);
+};
+
+std::vector<std::int64_t> gather_dirty(
+    const std::unordered_set<std::int64_t>& dirty) {
+  std::vector<std::int64_t> out;
+  for (const std::int64_t v : dirty) out.push_back(v);
+  return out;  // hash order escapes through the return value
+}
+
+void commit_dirty(Matching& m, const std::unordered_set<std::int64_t>& dirty) {
+  std::vector<std::int64_t> order = gather_dirty(dirty);
+  m.add(order[0], order[1]);  // BAD: helper-laundered hash order
+}

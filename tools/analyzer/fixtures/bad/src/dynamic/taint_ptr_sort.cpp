@@ -1,0 +1,30 @@
+// Analyzer fixture (known-bad): unordered-order-taint via non-canonical
+// sorts. Sorting pointers by address and sorting by std::hash both produce
+// run-dependent orders; each feeds a committed-state sink here. Fixtures
+// are analyzer inputs, not build inputs.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+struct Node {
+  std::int64_t id;
+};
+struct Matching {
+  void add(std::int64_t u, std::int64_t v);
+};
+
+void commit_by_address(Matching& m, std::vector<Node*> frontier) {
+  std::sort(frontier.begin(), frontier.end());  // address order!
+  m.add(frontier[0]->id, frontier[1]->id);  // BAD: allocation-order commit
+}
+
+void commit_by_hash(Matching& m, std::vector<std::string> labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const std::string& a, const std::string& b) {
+              return std::hash<std::string>{}(a) < std::hash<std::string>{}(b);
+            });
+  m.add(static_cast<std::int64_t>(labels[0].size()),
+        static_cast<std::int64_t>(labels[1].size()));  // BAD: hash order
+}

@@ -1,0 +1,23 @@
+// Analyzer fixture (known-bad): lock-order, undeclared nesting. The
+// acquisition order is consistent (no cycle) but the edge is absent from
+// the manifest whitelist — new nestings must be reviewed and declared.
+// Also exercises the one-level interprocedural edge: the nesting happens
+// via a callee that takes its own lock. Fixtures are analyzer inputs, not
+// build inputs.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class UndeclaredQueue {
+ public:
+  void close() {
+    MutexLock hold(close_gate_);
+    drain();  // acquires drain_gate_ while close_gate_ is held
+  }
+  void drain() { MutexLock hold(drain_gate_); }
+
+ private:
+  Mutex close_gate_;
+  Mutex drain_gate_;
+};

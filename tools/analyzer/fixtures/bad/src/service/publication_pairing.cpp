@@ -1,0 +1,26 @@
+// Analyzer fixture (known-bad): publication-order. The epoch counter is
+// release-stored before the snapshot pointer — a reader observing the new
+// epoch could still fetch the old snapshot, breaking the SSP refresh
+// proof. The markers reflect the (wrong) order. Fixtures are analyzer
+// inputs, not build inputs.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+struct Snapshot {
+  std::int64_t epoch;
+};
+
+class Publisher {
+ public:
+  void publish(std::shared_ptr<const Snapshot> snap, std::int64_t epoch) {
+    // publication-order[2]
+    published_epoch_.store(epoch, std::memory_order_release);
+    // publication-order[1]
+    latest_.store(std::move(snap), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> latest_;
+  std::atomic<std::int64_t> published_epoch_{0};
+};

@@ -1,0 +1,16 @@
+// Analyzer fixture (known-bad): relaxed-audit. Relaxed atomic accesses
+// with no adjacent `// relaxed-ok: <reason>` justification. Fixtures are
+// analyzer inputs, not build inputs.
+#include <atomic>
+#include <cstdint>
+
+class Counter {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  std::int64_t read() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> hits_{0};
+};

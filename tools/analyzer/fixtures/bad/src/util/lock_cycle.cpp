@@ -1,0 +1,24 @@
+// Analyzer fixture (known-bad): lock-order cycle. One path nests b_ under
+// a_, the other nests a_ under b_ — a textbook ABBA deadlock the global
+// acquisition graph must reject. Fixtures are analyzer inputs, not build
+// inputs (Mutex/MutexLock mirror src/util/annotations.hpp).
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class CyclePool {
+ public:
+  void forward() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);  // a_ -> b_
+  }
+  void backward() {
+    MutexLock hold_b(b_);
+    MutexLock hold_a(a_);  // b_ -> a_: closes the cycle
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

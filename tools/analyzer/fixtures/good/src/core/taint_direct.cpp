@@ -1,0 +1,29 @@
+// Analyzer fixture (known-good): the collect-then-sort twin of
+// bad/src/core/taint_direct.cpp. Keys are sorted before they reach the
+// oracle, so no hash order survives. Fixtures are analyzer inputs, not
+// build inputs.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct OracleGraph {
+  std::vector<std::int64_t> edges;
+};
+struct Oracle {
+  int find_matching(const OracleGraph& g);
+};
+
+int commit_pairs(Oracle& oracle,
+                 const std::unordered_map<std::int64_t, int>& pair_witness) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(pair_witness.size());
+  for (const auto& [key, wx] : pair_witness) {
+    (void)wx;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  OracleGraph h;
+  for (const std::int64_t key : keys) h.edges.push_back(key);
+  return oracle.find_matching(h);  // canonical: sorted id order
+}

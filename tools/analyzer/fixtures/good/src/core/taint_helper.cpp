@@ -1,0 +1,25 @@
+// Analyzer fixture (known-good): the canonicalized twin of
+// bad/src/core/taint_helper.cpp. The caller sorts the helper's result
+// before committing, which clears the hash-order taint. Fixtures are
+// analyzer inputs, not build inputs.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+struct Matching {
+  void add(std::int64_t u, std::int64_t v);
+};
+
+std::vector<std::int64_t> gather_dirty(
+    const std::unordered_set<std::int64_t>& dirty) {
+  std::vector<std::int64_t> out;
+  for (const std::int64_t v : dirty) out.push_back(v);
+  return out;  // hash order — callers must canonicalize
+}
+
+void commit_dirty(Matching& m, const std::unordered_set<std::int64_t>& dirty) {
+  std::vector<std::int64_t> order = gather_dirty(dirty);
+  std::sort(order.begin(), order.end());
+  m.add(order[0], order[1]);  // canonical: sorted id order
+}

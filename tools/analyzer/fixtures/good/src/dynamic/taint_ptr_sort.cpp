@@ -1,0 +1,27 @@
+// Analyzer fixture (known-good): the deterministic-key twin of
+// bad/src/dynamic/taint_ptr_sort.cpp. Pointers are ordered by the stable
+// id they point at, strings by value — both pure functions of the input.
+// Fixtures are analyzer inputs, not build inputs.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Node {
+  std::int64_t id;
+};
+struct Matching {
+  void add(std::int64_t u, std::int64_t v);
+};
+
+void commit_by_id(Matching& m, std::vector<Node*> frontier) {
+  std::sort(frontier.begin(), frontier.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+  m.add(frontier[0]->id, frontier[1]->id);  // canonical: id order
+}
+
+void commit_by_value(Matching& m, std::vector<std::string> labels) {
+  std::sort(labels.begin(), labels.end());
+  m.add(static_cast<std::int64_t>(labels[0].size()),
+        static_cast<std::int64_t>(labels[1].size()));  // canonical
+}

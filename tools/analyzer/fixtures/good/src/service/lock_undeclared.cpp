@@ -1,0 +1,22 @@
+// Analyzer fixture (known-good): the declared twin of
+// bad/src/service/lock_undeclared.cpp. Same consistent nesting, but the
+// edge DeclaredQueue::close_gate_ -> DeclaredQueue::drain_gate_ is listed
+// in the fixture manifest's allowed_edges. Fixtures are analyzer inputs,
+// not build inputs.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class DeclaredQueue {
+ public:
+  void close() {
+    MutexLock hold(close_gate_);
+    drain();  // close_gate_ -> drain_gate_: declared in the manifest
+  }
+  void drain() { MutexLock hold(drain_gate_); }
+
+ private:
+  Mutex close_gate_;
+  Mutex drain_gate_;
+};

@@ -1,0 +1,25 @@
+// Analyzer fixture (known-good): the correctly-paired twin of
+// bad/src/service/publication_pairing.cpp — snapshot first, epoch second,
+// both release stores, each under its marker. Fixtures are analyzer
+// inputs, not build inputs.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+struct Snapshot {
+  std::int64_t epoch;
+};
+
+class Publisher {
+ public:
+  void publish(std::shared_ptr<const Snapshot> snap, std::int64_t epoch) {
+    // publication-order[1]
+    latest_.store(std::move(snap), std::memory_order_release);
+    // publication-order[2]
+    published_epoch_.store(epoch, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> latest_;
+  std::atomic<std::int64_t> published_epoch_{0};
+};

@@ -1,0 +1,19 @@
+// Analyzer fixture (known-good): the justified twin of
+// bad/src/service/relaxed_unmarked.cpp — every relaxed access carries its
+// reason. Fixtures are analyzer inputs, not build inputs.
+#include <atomic>
+#include <cstdint>
+
+class Counter {
+ public:
+  void bump() {
+    // relaxed-ok: monotone stat counter; readers tolerate staleness
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t read() const {
+    return hits_.load(std::memory_order_relaxed);  // relaxed-ok: stat read
+  }
+
+ private:
+  std::atomic<std::int64_t> hits_{0};
+};

@@ -1,0 +1,24 @@
+// Analyzer fixture (known-good): the consistent-order twin of
+// bad/src/util/lock_cycle.cpp. Both paths nest b_ under a_ and the edge is
+// declared in the fixture manifest. Fixtures are analyzer inputs, not
+// build inputs.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+class OrderedPool {
+ public:
+  void forward() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);  // a_ -> b_, declared
+  }
+  void also_forward() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);  // same order everywhere
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

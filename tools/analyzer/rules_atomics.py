@@ -1,0 +1,70 @@
+"""relaxed-audit + publication-order: every relaxed atomic access is
+justified, and the service's snapshot/epoch release pairing stays proven.
+
+``memory_order_relaxed`` is correct in this codebase only for monotonic
+counters and stop flags whose readers tolerate staleness — and each such
+site must say so, with an adjacent comment:
+
+    x_.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: stat counter
+
+(or the marker on the line above). A relaxed access without a
+``relaxed-ok:`` reason is a finding: either the order is wrong, or the
+justification is missing and the next reader cannot tell which.
+
+The publication-order half delegates to the single shared implementation
+(shared_rules.check_publication_order) also used by the determinism lint:
+release stores to ``latest_`` / ``published_epoch_`` must keep the PR 7
+pairing proven by the publication-order[1]/[2] markers.
+"""
+
+from __future__ import annotations
+
+import re
+
+import shared_rules
+import source_model as sm
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+RELAXED_OK_RE = re.compile(r"//\s*relaxed-ok:\s*(\S.*)$")
+
+SERVICE_DIRS = {"service"}
+
+
+def _has_marker(sf: sm.SourceFile, idx: int) -> bool:
+    """Marker on the flagged line, anywhere earlier in the same (possibly
+    multi-line) statement, or on the line just above the statement head."""
+    if idx < len(sf.raw_lines) and RELAXED_OK_RE.search(sf.raw_lines[idx]):
+        return True
+    i = idx - 1
+    for _ in range(6):
+        if i < 0:
+            break
+        if RELAXED_OK_RE.search(sf.raw_lines[i]):
+            return True
+        stripped = sf.lines[i].strip() if i < len(sf.lines) else ""
+        if not stripped or stripped.endswith((";", "{", "}")):
+            break  # i ended the previous statement — it was the line above
+        i -= 1
+    return False
+
+
+def check(files: list[sm.SourceFile]) -> list[sm.Finding]:
+    findings: list[sm.Finding] = []
+    for sf in files:
+        for idx, line in enumerate(sf.lines):
+            if RELAXED_RE.search(line) and not _has_marker(sf, idx):
+                sm.report(
+                    findings,
+                    sf,
+                    idx,
+                    "relaxed-audit",
+                    "memory_order_relaxed without an adjacent "
+                    "'// relaxed-ok: <reason>' marker; justify the relaxed "
+                    "order or strengthen it",
+                )
+        if sf.subsystem in SERVICE_DIRS:
+            for idx, message in shared_rules.check_publication_order(
+                sf.raw_lines, sf.lines
+            ):
+                sm.report(findings, sf, idx, "publication-order", message)
+    return findings

@@ -1,0 +1,74 @@
+"""Rules shared between tools/determinism_lint.py and tools/analyzer.
+
+The publication-order rule used to live inline in the determinism lint;
+it now has exactly one implementation here. Both tools call
+``check_publication_order`` and wrap the returned (line, message) pairs
+in their own finding types (each applies its own suppression syntax).
+
+The rule guards the PR 7 proof obligation in
+``src/service/matching_service.cpp``: the writer must release-store the
+snapshot pointer (``latest_``) *before* release-storing the epoch counter
+(``published_epoch_``) — a reader that observes epoch >= e is then
+guaranteed to observe snapshot e via the acquire load. The code marks the
+pair with ``publication-order[1]`` / ``publication-order[2]`` comments;
+the rule checks the markers exist, appear in order, and each sits
+immediately above the matching release store.
+"""
+
+from __future__ import annotations
+
+RULE_NAME = "publication-order"
+
+
+def check_publication_order(
+    raw_lines: list[str], lines: list[str]
+) -> list[tuple[int, str]]:
+    """Returns (0-based line index, message) pairs for a service-subsystem
+    file. ``raw_lines`` carry the comments (the markers live there);
+    ``lines`` are the comment/string-stripped twin used to match the actual
+    stores."""
+    if not any("published_epoch_.store" in line for line in lines):
+        return []
+    findings: list[tuple[int, str]] = []
+    marker1 = marker2 = None
+    for idx, raw in enumerate(raw_lines):
+        if "publication-order[1]" in raw:
+            marker1 = idx
+        if "publication-order[2]" in raw:
+            marker2 = idx
+    if marker1 is None or marker2 is None:
+        findings.append(
+            (
+                0,
+                "file release-stores published_epoch_ but lacks the "
+                "publication-order[1]/[2] proof markers (see "
+                "docs/static_analysis.md)",
+            )
+        )
+    elif marker1 >= marker2:
+        findings.append(
+            (
+                marker2,
+                "publication-order[2] (epoch store) precedes "
+                "publication-order[1] (snapshot store): the snapshot must "
+                "be release-stored first",
+            )
+        )
+    else:
+        for marker, idx, want in (
+            ("publication-order[1]", marker1, "latest_"),
+            ("publication-order[2]", marker2, "published_epoch_"),
+        ):
+            stmt = "\n".join(lines[idx + 1 : idx + 3])
+            if (
+                f"{want}.store" not in stmt
+                or "std::memory_order_release" not in stmt
+            ):
+                findings.append(
+                    (
+                        idx,
+                        f"{marker} must be immediately followed by "
+                        f"{want}.store(..., std::memory_order_release)",
+                    )
+                )
+    return findings

@@ -37,7 +37,15 @@ discipline machine-checkable:
                         (epoch counter store), each a release store. The SSP
                         refresh proof in matching_service.cpp depends on this
                         pairing; the markers are the comment-level proof
-                        obligation this rule checks.
+                        obligation this rule checks. The implementation lives
+                        in tools/analyzer/shared_rules.py, shared with the
+                        bmf-analyzer front end.
+  stale-suppression     Everywhere: a `determinism-lint: allow(...)` or
+                        `bmf-analyzer: allow(...)` comment must cite a rule
+                        its tool actually defines and carry a ` -- reason`
+                        tail, and clang-tidy NOLINT markers must name their
+                        check(s) — a suppression that outlives its rule (or
+                        swallows everything) hides nothing and rots.
 
 Suppression (sparingly, reason mandatory), on the flagged line or the line
 above:
@@ -65,6 +73,13 @@ import re
 import sys
 from dataclasses import dataclass
 
+_ANALYZER_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "analyzer")
+if _ANALYZER_DIR not in sys.path:
+    sys.path.insert(0, _ANALYZER_DIR)
+
+import shared_rules  # single home of the publication-order rule  # noqa: E402
+import source_model as _analyzer_model  # bmf-analyzer's rule registry  # noqa: E402
+
 CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
 
 # Directories (path components after a `src` component) each rule applies to.
@@ -82,7 +97,20 @@ RULES = (
     "raw-randomness",
     "ungated-fanout",
     "publication-order",
+    "stale-suppression",
 )
+
+# Every suppression prefix in the tree and the rule names it may cite. The
+# stale-suppression rule fails on an allow() naming a rule neither tool
+# knows — a suppression that outlives its rule silently stops meaning
+# anything. NOLINT is clang-tidy's marker; we additionally require it to
+# name its check(s), since a bare NOLINT swallows every future diagnostic
+# on that line.
+ANALYZER_RULES = _analyzer_model.RULES
+SUPPRESSION_PREFIX_RE = re.compile(
+    r"//\s*(determinism-lint|bmf-analyzer):\s*allow\(([^)\n]*)\)(.*)$"
+)
+BARE_NOLINT_RE = re.compile(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b(?!\()")
 
 
 @dataclass
@@ -388,47 +416,42 @@ def lint_file(path: str, use_libclang: str) -> list[Finding]:
                 )
 
     # ---- publication-order ---------------------------------------------------
+    # Implementation shared with tools/analyzer (shared_rules.py) — one rule,
+    # two front ends.
     if sub in SERVICE_DIRS:
-        publishes = any("published_epoch_.store" in line for line in lines)
-        if publishes:
-            marker1 = marker2 = None
-            for idx, raw in enumerate(raw_lines):
-                if "publication-order[1]" in raw:
-                    marker1 = idx
-                if "publication-order[2]" in raw:
-                    marker2 = idx
-            if marker1 is None or marker2 is None:
+        for idx, message in shared_rules.check_publication_order(raw_lines, lines):
+            report(idx, shared_rules.RULE_NAME, message)
+
+    # ---- stale-suppression ---------------------------------------------------
+    # Applies everywhere (any subsystem, fixtures included): a suppression
+    # citing a rule neither tool knows is dead weight that hides nothing —
+    # and usually means the rule was renamed out from under it.
+    for idx, raw in enumerate(raw_lines):
+        m = SUPPRESSION_PREFIX_RE.search(raw)
+        if m:
+            prefix, rule_name, rest = m.group(1), m.group(2).strip(), m.group(3)
+            known = RULES if prefix == "determinism-lint" else ANALYZER_RULES
+            if rule_name not in known:
                 report(
-                    0,
-                    "publication-order",
-                    "file release-stores published_epoch_ but lacks the "
-                    "publication-order[1]/[2] proof markers (see "
-                    "docs/static_analysis.md)",
+                    idx,
+                    "stale-suppression",
+                    f"suppression '{prefix}: allow({rule_name})' names no "
+                    f"known {prefix} rule; remove it or fix the rule name",
                 )
-            elif marker1 >= marker2:
+            elif not re.match(r"\s*--\s*\S", rest):
                 report(
-                    marker2,
-                    "publication-order",
-                    "publication-order[2] (epoch store) precedes "
-                    "publication-order[1] (snapshot store): the snapshot must "
-                    "be release-stored first",
+                    idx,
+                    "stale-suppression",
+                    f"suppression '{prefix}: allow({rule_name})' lacks the "
+                    "mandatory ' -- <reason>' tail (and is being ignored)",
                 )
-            else:
-                for marker, idx, want in (
-                    ("publication-order[1]", marker1, "latest_"),
-                    ("publication-order[2]", marker2, "published_epoch_"),
-                ):
-                    stmt = "\n".join(lines[idx + 1 : idx + 3])
-                    if (
-                        f"{want}.store" not in stmt
-                        or "std::memory_order_release" not in stmt
-                    ):
-                        report(
-                            idx,
-                            "publication-order",
-                            f"{marker} must be immediately followed by "
-                            f"{want}.store(..., std::memory_order_release)",
-                        )
+        if BARE_NOLINT_RE.search(raw):
+            report(
+                idx,
+                "stale-suppression",
+                "bare NOLINT swallows every clang-tidy check on the line; "
+                "name the check, e.g. NOLINTNEXTLINE(concurrency-mt-unsafe)",
+            )
     return findings
 
 

@@ -1,0 +1,19 @@
+// Lint fixture (bad): stale-suppression. Three rotten suppressions — an
+// allow() citing a rule the lint never defined, an allow() missing the
+// mandatory reason tail (so it suppresses nothing while looking like it
+// does), and a clang-tidy marker that names no check and so would swallow
+// every diagnostic on its line. Fixture files are lint inputs, not build
+// inputs.
+
+namespace bmf {
+
+inline int identity(int x) {
+  // determinism-lint: allow(hash-iteration) -- rule was renamed long ago
+  int a = x;
+  // bmf-analyzer: allow(lock-order)
+  int b = a;
+  int c = b;  // NOLINT
+  return c;
+}
+
+}  // namespace bmf

@@ -1,0 +1,18 @@
+// Lint fixture (good): the healthy twin of bad/src/dynamic/
+// stale_suppression.cpp — every suppression cites a rule its tool defines,
+// carries a reason, and the clang-tidy marker names its check. Fixture
+// files are lint inputs, not build inputs.
+
+namespace bmf {
+
+inline int identity(int x) {
+  // determinism-lint: allow(bare-thread) -- documents a reviewed exception
+  int a = x;
+  // bmf-analyzer: allow(lock-order) -- nesting reviewed; edge in manifest
+  int b = a;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- fixture demonstrates the form
+  int c = b;
+  return c;
+}
+
+}  // namespace bmf

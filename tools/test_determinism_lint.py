@@ -25,6 +25,7 @@ BAD_EXPECTATIONS = {
     "src/core/unordered_commit.cpp": {"unordered-iteration"},
     "src/core/raw_random.cpp": {"raw-randomness"},
     "src/dynamic/bare_thread.cpp": {"bare-thread"},
+    "src/dynamic/stale_suppression.cpp": {"stale-suppression"},
     "src/graph/ungated_fanout.cpp": {"ungated-fanout"},
     "src/service/publication.cpp": {"publication-order"},
 }
@@ -97,6 +98,23 @@ class SuppressionPolicy(unittest.TestCase):
         )
         self.assertIsNotNone(m)
         self.assertEqual("raw-randomness", m.group(1))
+
+    def test_stale_suppression_fixture_flags_all_three_rots(self):
+        findings = lint(
+            os.path.join(FIXTURES, "bad", "src/dynamic/stale_suppression.cpp")
+        )
+        stale = [f for f in findings if f.rule == "stale-suppression"]
+        self.assertEqual(3, len(stale), [f.render() for f in findings])
+        messages = " | ".join(f.message for f in stale)
+        self.assertIn("names no known determinism-lint rule", messages)
+        self.assertIn("lacks the mandatory ' -- <reason>' tail", messages)
+        self.assertIn("bare NOLINT", messages)
+
+    def test_analyzer_rule_names_stay_in_sync(self):
+        # The stale-suppression rule validates bmf-analyzer allow() comments
+        # against the analyzer's own registry — imported, not copied.
+        self.assertIn("unordered-order-taint", determinism_lint.ANALYZER_RULES)
+        self.assertIn("single-writer-ledger", determinism_lint.ANALYZER_RULES)
 
 
 class RealTree(unittest.TestCase):
