@@ -16,8 +16,13 @@
 /// populates them); `coord_bytes` / `coord_rounds` are the coordinator
 /// message ledger (CommStats, replay_core.hpp) — bytes and rounds crossing
 /// the shard boundary over the whole run — and are 0 for flat engines,
-/// single-shard cells, and benches without a sharded store. Names must not
-/// contain characters needing JSON escapes.
+/// single-shard cells, and benches without a sharded store;
+/// `bytes_per_vertex` is the adjacency-store footprint divided by n (0 when
+/// the bench does not measure storage); `ns_per_probe` is the mean
+/// wall-clock cost of one oracle probe kernel call in nanoseconds (0 for
+/// benches without a probe microbench — only the compressed-store bench
+/// populates either). Names must not contain characters needing JSON
+/// escapes.
 
 #include <cstdint>
 #include <cstdio>
@@ -40,6 +45,8 @@ struct Record {
   double read_p99_us = 0.0;
   std::int64_t coord_bytes = 0;
   std::int64_t coord_rounds = 0;
+  double bytes_per_vertex = 0.0;
+  double ns_per_probe = 0.0;
 };
 
 class Writer {
@@ -58,14 +65,15 @@ class Writer {
                    "\"updates_per_sec\": %.1f, \"rebuild_ms\": %.3f, "
                    "\"rebuilds\": %lld, \"identical\": %s, "
                    "\"read_p50_us\": %.3f, \"read_p99_us\": %.3f, "
-                   "\"coord_bytes\": %lld, \"coord_rounds\": %lld}%s\n",
+                   "\"coord_bytes\": %lld, \"coord_rounds\": %lld, "
+                   "\"bytes_per_vertex\": %.2f, \"ns_per_probe\": %.3f}%s\n",
                    r.bench.c_str(), r.workload.c_str(), r.threads,
                    r.updates_per_sec, r.rebuild_ms,
                    static_cast<long long>(r.rebuilds),
                    r.identical ? "true" : "false", r.read_p50_us, r.read_p99_us,
                    static_cast<long long>(r.coord_bytes),
-                   static_cast<long long>(r.coord_rounds),
-                   i + 1 < records_.size() ? "," : "");
+                   static_cast<long long>(r.coord_rounds), r.bytes_per_vertex,
+                   r.ns_per_probe, i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     return std::fclose(f) == 0;

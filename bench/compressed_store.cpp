@@ -1,0 +1,261 @@
+/// CompressedAdjacencyStore (CSR + delta buffers) footprint + SIMD probe bench.
+///
+/// Two halves, both feeding BENCH_pr.json:
+///
+///  * a probe microbench over `BitMatrix::first_common_in_row` — the kernel
+///    behind every A_weak oracle query — run twice on identical inputs with
+///    the dispatch pinned to the scalar path and then left to CPU detection
+///    (src/graph/bit_matrix.hpp). Reports ns/probe and the words_scanned
+///    total for each mode; the two modes must return identical hit checksums
+///    AND identical words_scanned (the documented dispatch contract), and any
+///    mismatch fails the run;
+///
+///  * an engine comparison of the flat `DynamicMatcher` against
+///    `CompressedDynamicMatcher` on the same update stream: updates/sec,
+///    bytes/vertex of live adjacency storage (CSR + delta buffers vs the
+///    modelled per-vertex-vector flat layout), and the full bit-identity
+///    check (mates, rebuild positions via stats, A_weak calls).
+///
+/// Exits non-zero on any divergence (the bench-smoke CI job runs this in
+/// --quick --json mode into BENCH_pr.json).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dynamic/compressed_store.hpp"
+#include "dynamic/dynamic_matcher.hpp"
+#include "dynamic/weak_oracle.hpp"
+#include "graph/bit_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workloads/dyn_workload.hpp"
+
+using namespace bmf;
+
+namespace {
+
+struct RunState {
+  std::vector<Vertex> mates;
+  std::int64_t edges = 0;
+  std::int64_t rebuilds = 0;
+  std::int64_t weak_calls = 0;
+  RebuildStats rebuild_stats;
+
+  friend bool operator==(const RunState&, const RunState&) = default;
+};
+
+RunState state_of(const ReplayEngine& engine) {
+  RunState s;
+  const LiveEngineView view = engine.view();
+  for (Vertex v = 0; v < view.num_vertices(); ++v)
+    s.mates.push_back(view.mate_of(v));
+  s.edges = engine.snapshot().num_edges();
+  s.rebuilds = engine.rebuilds();
+  s.weak_calls = engine.weak_calls();
+  s.rebuild_stats = engine.rebuild_stats();
+  return s;
+}
+
+struct ProbeResult {
+  double ns_per_probe = 0.0;
+  std::int64_t words_scanned = 0;
+  std::int64_t hit_checksum = 0;  // sum of (r + 1) * (hit + 2) over all probes
+};
+
+/// One full sweep of first_common_in_row over every (row, mask) pair,
+/// repeated `reps` times; best-of wall clock, single-rep counters.
+ProbeResult probe_sweep(const BitMatrix& m, const std::vector<BitVec>& masks,
+                        int reps) {
+  ProbeResult best;
+  best.ns_per_probe = 1e18;
+  const double probes =
+      static_cast<double>(m.rows()) * static_cast<double>(masks.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    std::int64_t words = 0;
+    std::int64_t checksum = 0;
+    Timer t;
+    for (const BitVec& mask : masks)
+      for (std::int64_t r = 0; r < m.rows(); ++r) {
+        std::int64_t scanned = 0;
+        const std::int64_t hit = m.first_common_in_row(r, mask, &scanned);
+        words += scanned;
+        checksum += (r + 1) * (hit + 2);
+      }
+    const double ns = t.seconds() * 1e9 / probes;
+    if (ns < best.ns_per_probe)
+      best = ProbeResult{ns, words, checksum};
+  }
+  return best;
+}
+
+/// Scalar-pinned vs detected-dispatch probe comparison. Returns false on any
+/// contract violation (differing hits or words_scanned across modes).
+bool run_probe_bench(benchjson::Writer& out, bool quick) {
+  // Sparse rows x sparse masks: most probes are long scans (misses or late
+  // hits), the regime the oracle's A_weak probes live in and the one the
+  // vector path targets. The 0.5 mask keeps the early-hit path honest in the
+  // cross-mode identity check without dominating the clock.
+  const std::int64_t n = quick ? 1024 : 4096;
+  Rng rng(20250809);
+  BitMatrix m(n, n);
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < n; ++c)
+      if (rng.next_bool(0.005)) m.set(r, c);
+  std::vector<BitVec> masks;
+  for (const double density : {0.0, 0.002, 0.01, 0.5}) {
+    BitVec mask(n);
+    for (std::int64_t c = 0; c < n; ++c)
+      if (rng.next_bool(density)) mask.set(c);
+    masks.push_back(std::move(mask));
+  }
+
+  const int reps = quick ? 5 : 9;
+  const bool was_forced = scalar_bit_kernels_forced();
+  force_scalar_bit_kernels(true);
+  const ProbeResult scalar = probe_sweep(m, masks, reps);
+  force_scalar_bit_kernels(false);  // the second sweep follows CPU detection
+  const char* detected = bit_kernel_name(active_bit_kernel());
+  const ProbeResult active = probe_sweep(m, masks, reps);
+  force_scalar_bit_kernels(was_forced);
+
+  const bool same = active.hit_checksum == scalar.hit_checksum &&
+                    active.words_scanned == scalar.words_scanned;
+  Table t({"dispatch", "ns/probe", "words_scanned", "speedup vs scalar",
+           "identical"});
+  t.add_row({"scalar", Table::num(scalar.ns_per_probe, 2),
+             Table::integer(scalar.words_scanned), Table::num(1.0, 2), "ref"});
+  t.add_row({detected, Table::num(active.ns_per_probe, 2),
+             Table::integer(active.words_scanned),
+             Table::num(scalar.ns_per_probe / active.ns_per_probe, 2),
+             same ? "yes" : "NO"});
+  char title[96];
+  std::snprintf(title, sizeof title,
+                "first_common_in_row probe kernel (n=%lld, %zu masks)",
+                static_cast<long long>(n), masks.size());
+  t.print(title);
+
+  benchjson::Record scalar_rec{"compressed_store", "probe/scalar", 1};
+  scalar_rec.ns_per_probe = scalar.ns_per_probe;
+  scalar_rec.identical = same;
+  out.add(scalar_rec);
+  char cell[48];
+  std::snprintf(cell, sizeof cell, "probe/%s", detected);
+  benchjson::Record active_rec{"compressed_store", cell, 1};
+  active_rec.ns_per_probe = active.ns_per_probe;
+  active_rec.identical = same;
+  out.add(active_rec);
+  return same;
+}
+
+void run_engine_comparison(benchjson::Writer& out, const char* workload,
+                           const char* title, Vertex n,
+                           const std::vector<EdgeUpdate>& updates, double eps,
+                           std::int64_t rebuild_every,
+                           std::int64_t batch_size) {
+  const auto batches = slice_updates(updates, batch_size);
+  const auto count = static_cast<double>(updates.size());
+
+  double seq_time = 0.0;
+  RunState reference;
+  double flat_bpv = 0.0;
+  {
+    MatrixWeakOracle oracle(n);
+    DynamicMatcherConfig cfg;
+    cfg.eps = eps;
+    cfg.rebuild_every = rebuild_every;
+    DynamicMatcher dm(n, oracle, cfg);
+    Timer t;
+    for (const EdgeUpdate& up : updates) dm.apply(up);
+    seq_time = t.seconds();
+    // Modelled flat footprint: one std::vector header per vertex plus the
+    // directed adjacency payload (2m Vertex entries).
+    flat_bpv = (static_cast<double>(n) * sizeof(std::vector<Vertex>) +
+                2.0 * static_cast<double>(dm.graph().num_edges()) *
+                    sizeof(Vertex)) /
+               static_cast<double>(n);
+    reference = state_of(dm);
+  }
+
+  Table t({"mode", "time (s)", "updates/sec", "speedup vs flat", "rebuilds",
+           "bytes/vertex", "identical"});
+  t.add_row({"flat seq", Table::num(seq_time, 4),
+             Table::num(count / seq_time, 0), Table::num(1.0, 2),
+             Table::integer(reference.rebuilds), Table::num(flat_bpv, 1),
+             "ref"});
+  for (const int threads : {1, 2, 8}) {
+    CompressedMatcherConfig cfg;
+    cfg.eps = eps;
+    cfg.rebuild_every = rebuild_every;
+    cfg.threads = threads;
+    CompressedDynamicMatcher dm(n, cfg);
+    Timer timer;
+    for (const auto& batch : batches) dm.apply_batch(batch);
+    const double s = timer.seconds();
+    // Live footprint before state_of's snapshot() folds the delta buffers.
+    const double bpv =
+        static_cast<double>(dm.store().csr_bytes() + dm.store().delta_bytes()) /
+        static_cast<double>(n);
+    const RunState got = state_of(dm);
+    const bool same = got == reference;
+    char mode[32];
+    std::snprintf(mode, sizeof mode, "csr x %dT", threads);
+    t.add_row({mode, Table::num(s, 4), Table::num(count / s, 0),
+               Table::num(seq_time / s, 2), Table::integer(got.rebuilds),
+               Table::num(bpv, 1), same ? "yes" : "NO"});
+    benchjson::Record rec{"compressed_store", workload, threads, count / s,
+                          s * 1000.0, got.rebuilds, same};
+    rec.bytes_per_vertex = bpv;
+    out.add(rec);
+  }
+  t.print(title);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchjson::BenchArgs args = benchjson::parse_args(argc, argv);
+  std::printf("hardware_concurrency=%u quick=%d detected_kernel=%s\n\n",
+              std::thread::hardware_concurrency(), args.quick ? 1 : 0,
+              bit_kernel_name(active_bit_kernel()));
+
+  benchjson::Writer out;
+  bool probes_ok = run_probe_bench(out, args.quick);
+
+  {
+    const Vertex n = args.quick ? 3000 : 15000;
+    Rng rng(2025);
+    const auto updates = dyn_random_updates(n, args.quick ? 24000 : 120000,
+                                            /*insert_prob=*/0.75, rng);
+    run_engine_comparison(out, "update_path",
+                          "compressed update-path throughput (rebuilds "
+                          "excluded)",
+                          n, updates, 0.25, /*rebuild_every=*/1 << 30,
+                          /*batch_size=*/2048);
+  }
+
+  {
+    const Vertex n = args.quick ? 200 : 300;
+    Rng rng(7);
+    const auto updates =
+        dyn_mixed_churn(n, args.quick ? 3000 : 6000, rng);
+    run_engine_comparison(out, "adaptive_rebuilds",
+                          "compressed adaptive-rebuild identity (Theorem 6.2 "
+                          "rebuilds + delta folds)",
+                          n, updates, 0.25, /*rebuild_every=*/0,
+                          /*batch_size=*/128);
+  }
+
+  if (!args.json_path.empty() && !out.write(args.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  if (!probes_ok || !out.all_identical()) {
+    std::fprintf(stderr, "DIVERGENCE: a compressed run or probe mode differed "
+                         "from its reference\n");
+    return 1;
+  }
+  return 0;
+}

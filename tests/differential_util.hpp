@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "dynamic/compressed_store.hpp"
 #include "dynamic/dynamic_matcher.hpp"
 #include "dynamic/sharded_matcher.hpp"
 #include "dynamic/weak_oracle.hpp"
@@ -99,6 +100,19 @@ inline RunResult collect(const ShardedDynamicMatcher& dm) {
   r.num_edges = dm.num_edges();
   const Graph s = dm.snapshot();
   r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  return r;
+}
+
+inline RunResult collect(const CompressedDynamicMatcher& dm) {
+  RunResult r = collect_counters(dm, dm.num_vertices());
+  r.num_edges = dm.num_edges();
+  const Graph s = dm.snapshot();
+  r.graph_edges.assign(s.edges().begin(), s.edges().end());
+  // Single participant, like the flat store: the ledger is identically zero.
+  EXPECT_EQ(dm.comm_stats(), CommStats{});
+  // snapshot() folds pending deltas, so by this point the buffers are empty
+  // and the CSR body holds exactly the live edge set.
+  EXPECT_EQ(dm.store().delta_entries(), 0);
   return r;
 }
 
@@ -173,6 +187,38 @@ inline RunResult run_sharded(Vertex n, std::span<const EdgeUpdate> ups,
   return collect(dm);
 }
 
+/// Compressed (CSR + delta buffer) engine at one grid point. Shares the flat
+/// family's MatrixWeakOracle, so its words_touched joins the flat-family
+/// invariance assertion. Audits words monotonicity batch over batch and the
+/// delta-buffer invariant that folds only ever happen at rebuild boundaries.
+inline RunResult run_compressed(Vertex n, std::span<const EdgeUpdate> ups,
+                                const DynamicMatcherConfig& base, int threads,
+                                std::int64_t batch_size,
+                                std::int64_t* words_out = nullptr,
+                                ReplayOverlapStats* stats_out = nullptr) {
+  const ForceParallelSmallWork force;
+  CompressedMatcherConfig cfg;
+  static_cast<DynamicCoreConfig&>(cfg) = base;
+  cfg.threads = threads;
+  CompressedDynamicMatcher dm(n, cfg);
+  std::int64_t last_words = 0;
+  std::int64_t last_merges = 0;
+  for (const auto& batch : slice_updates(ups, batch_size)) {
+    dm.apply_batch(batch);
+    EXPECT_GE(dm.matrix_oracle().words_touched(), last_words);
+    last_words = dm.matrix_oracle().words_touched();
+    // Folds happen at rebuild boundaries only: the merge counter can never
+    // outrun the rebuild counter.
+    const CompressedStoreStats& ss = dm.store().store_stats();
+    EXPECT_GE(ss.merges, last_merges);
+    EXPECT_LE(ss.merges, dm.rebuilds());
+    last_merges = ss.merges;
+  }
+  if (words_out != nullptr) *words_out = last_words;
+  if (stats_out != nullptr) *stats_out = dm.overlap_stats();
+  return collect(dm);
+}
+
 /// Grid axes for expect_all_engines_equal. Defaults are the canonical
 /// acceptance grid; suites narrow or widen them per scenario.
 struct GridOptions {
@@ -187,6 +233,10 @@ struct GridOptions {
   std::int64_t min_rebuilds = 1;
   /// Skip the sharded half (for suites focused on the flat engine).
   bool run_sharded_grid = true;
+  std::vector<int> compressed_threads = {1, 2, 8};
+  std::vector<std::int64_t> compressed_batch_sizes = {64};
+  /// Skip the compressed (CSR + delta buffer) leg.
+  bool run_compressed_grid = true;
 };
 
 /// The single loop: sequential reference, then every flat (threads x batch)
@@ -216,6 +266,21 @@ inline void expect_all_engines_equal(Vertex n, std::span<const EdgeUpdate> ups,
         // invariant across the whole flat grid including the serial loop.
         EXPECT_EQ(words, flat_words)
             << "flat threads=" << threads << " batch=" << batch_size;
+      }
+
+  if (opt.run_compressed_grid)
+    for (const int threads : opt.compressed_threads)
+      for (const std::int64_t batch_size : opt.compressed_batch_sizes) {
+        std::int64_t words = 0;
+        const RunResult got =
+            run_compressed(n, ups, cfg, threads, batch_size, &words);
+        EXPECT_EQ(got, want) << "compressed threads=" << threads
+                             << " batch=" << batch_size;
+        // The compressed store drives the same MatrixWeakOracle over the
+        // same query schedule, so its words count joins the flat family's
+        // exact invariance — storage layout must not change probe cost.
+        EXPECT_EQ(words, flat_words)
+            << "compressed threads=" << threads << " batch=" << batch_size;
       }
 
   if (!opt.run_sharded_grid) return;

@@ -1,0 +1,227 @@
+// CompressedAdjacencyStore (CSR + per-vertex delta buffers): delta-merge
+// property tests against a DynGraph reference, fold-point equivalence, and
+// the cross-engine differential grid for the compressed facade.
+//
+// The bit-identity half (CompressedStoreDifferential) rides the shared
+// checker in tests/differential_util.hpp — the same grid every engine
+// passes; the property half (CompressedStoreDelta) pins the semantic store
+// obligations the concepts cannot: ascending neighbors() at every fold
+// state, snapshot() equality across merge points, toggle's changed-presence
+// return, and the delta-buffer bookkeeping invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "differential_util.hpp"
+#include "dynamic/compressed_store.hpp"
+#include "graph/dyn_graph.hpp"
+#include "util/rng.hpp"
+#include "workloads/dyn_workload.hpp"
+
+namespace bmf {
+namespace {
+
+using testdiff::GridOptions;
+
+EdgeUpdate random_toggle(Vertex n, Rng& rng) {
+  const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+  auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  if (v >= u) ++v;
+  return rng.next_bool(0.6) ? EdgeUpdate::ins(u, v) : EdgeUpdate::del(u, v);
+}
+
+TEST(CompressedStoreDelta, NeighborsAscendingAndEqualToReferenceEveryStep) {
+  constexpr Vertex n = 32;
+  Rng rng(11);
+  MatrixWeakOracle oracle(n);
+  CompressedAdjacencyStore store(n, oracle);
+  DynGraph ref(n);
+  for (int step = 0; step < 600; ++step) {
+    const EdgeUpdate up = random_toggle(n, rng);
+    const bool ref_changed =
+        up.insert ? ref.insert(up.u, up.v) : ref.erase(up.u, up.v);
+    EXPECT_EQ(store.toggle(up), ref_changed) << "step=" << step;
+    // Periodic folds in the middle of the stream: rows flip between CSR
+    // slices and materialized merged rows, and the view must not move.
+    if (step % 97 == 0) store.merge_deltas();
+    EXPECT_EQ(store.num_edges(), ref.num_edges()) << "step=" << step;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::span<const Vertex> got = store.neighbors(v);
+      const std::span<const Vertex> want = ref.neighbors(v);
+      ASSERT_TRUE(std::is_sorted(got.begin(), got.end()))
+          << "step=" << step << " v=" << v;
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()))
+          << "step=" << step << " v=" << v;
+    }
+  }
+}
+
+TEST(CompressedStoreDelta, SnapshotEqualAcrossMergePoints) {
+  constexpr Vertex n = 28;
+  Rng rng(23);
+  MatrixWeakOracle oracle(n);
+  CompressedAdjacencyStore store(n, oracle);
+  DynGraph ref(n);
+  for (int step = 0; step < 400; ++step) {
+    const EdgeUpdate up = random_toggle(n, rng);
+    const bool changed =
+        up.insert ? ref.insert(up.u, up.v) : ref.erase(up.u, up.v);
+    ASSERT_EQ(store.toggle(up), changed);
+    if (step % 61 != 0) continue;
+    // snapshot() itself folds, so comparing it to the reference pins both
+    // the pre-fold row views (they feed the fold) and the fold result.
+    const Graph want = ref.snapshot();
+    const Graph got = store.snapshot();
+    ASSERT_TRUE(std::equal(got.edges().begin(), got.edges().end(),
+                           want.edges().begin(), want.edges().end()))
+        << "step=" << step;
+    EXPECT_EQ(store.delta_entries(), 0) << "step=" << step;
+    // After a fold the CSR body is exactly the live edge set.
+    EXPECT_EQ(store.csr_bytes(),
+              static_cast<std::int64_t>((n + 1) * sizeof(std::int64_t)) +
+                  2 * store.num_edges() *
+                      static_cast<std::int64_t>(sizeof(Vertex)))
+        << "step=" << step;
+  }
+}
+
+TEST(CompressedStoreDelta, ReinsertAndReEraseWithinOneWindow) {
+  constexpr Vertex n = 8;
+  MatrixWeakOracle oracle(n);
+  CompressedAdjacencyStore store(n, oracle);
+  // Base edge {0,1} folded into the CSR body.
+  ASSERT_TRUE(store.toggle(EdgeUpdate::ins(0, 1)));
+  store.merge_deltas();
+  EXPECT_EQ(store.delta_entries(), 0);
+
+  // Delete a base edge: two del entries. Re-insert it: the dels shrink back
+  // to zero rather than growing adds.
+  ASSERT_TRUE(store.toggle(EdgeUpdate::del(0, 1)));
+  EXPECT_EQ(store.delta_entries(), 2);
+  ASSERT_TRUE(store.toggle(EdgeUpdate::ins(0, 1)));
+  EXPECT_EQ(store.delta_entries(), 0);
+  EXPECT_TRUE(store.has_edge(0, 1));
+
+  // Fresh edge this window: two add entries; erasing it empties them.
+  ASSERT_TRUE(store.toggle(EdgeUpdate::ins(2, 3)));
+  EXPECT_EQ(store.delta_entries(), 2);
+  ASSERT_TRUE(store.toggle(EdgeUpdate::del(2, 3)));
+  EXPECT_EQ(store.delta_entries(), 0);
+  EXPECT_FALSE(store.has_edge(2, 3));
+
+  const CompressedStoreStats& stats = store.store_stats();
+  EXPECT_EQ(stats.delta_inserts, 3);
+  EXPECT_EQ(stats.delta_erases, 2);
+  EXPECT_EQ(stats.peak_delta_entries, 2);
+  EXPECT_EQ(stats.merges, 1);
+}
+
+TEST(CompressedStoreDelta, ToggleReturnsChangedPresence) {
+  constexpr Vertex n = 6;
+  MatrixWeakOracle oracle(n);
+  CompressedAdjacencyStore store(n, oracle);
+  EXPECT_TRUE(store.toggle(EdgeUpdate::ins(0, 1)));
+  EXPECT_FALSE(store.toggle(EdgeUpdate::ins(0, 1)));
+  EXPECT_FALSE(store.toggle(EdgeUpdate::del(2, 3)));
+  EXPECT_TRUE(store.toggle(EdgeUpdate::del(0, 1)));
+  EXPECT_FALSE(store.toggle(EdgeUpdate::del(0, 1)));
+  EXPECT_THROW((void)store.toggle(EdgeUpdate::ins(0, 0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)store.toggle(EdgeUpdate::ins(-1, 2)),
+               std::invalid_argument);
+  EXPECT_FALSE(store.has_edge(0, 0));
+  EXPECT_FALSE(store.has_edge(-1, 2));
+}
+
+TEST(CompressedStoreDelta, MergeIsIdempotentAndCountsFolds) {
+  constexpr Vertex n = 16;
+  Rng rng(3);
+  MatrixWeakOracle oracle(n);
+  CompressedAdjacencyStore store(n, oracle);
+  for (int step = 0; step < 60; ++step) (void)store.toggle(random_toggle(n, rng));
+  const std::int64_t pending = store.delta_entries();
+  store.merge_deltas();
+  const std::int64_t merges = store.store_stats().merges;
+  EXPECT_EQ(store.store_stats().merged_entries, pending);
+  store.merge_deltas();  // nothing dirty: a no-op, not a counted fold
+  EXPECT_EQ(store.store_stats().merges, merges);
+  EXPECT_EQ(store.delta_bytes(), 0);
+}
+
+TEST(CompressedStoreDifferential, MixedChurnFullGridMatchesSequential) {
+  constexpr Vertex n = 48;
+  Rng rng(404);
+  const auto ups = dyn_mixed_churn(n, 900, rng);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.3;
+  cfg.seed = 404;
+  GridOptions opt;
+  opt.run_sharded_grid = false;  // the compressed leg is the suite's subject
+  opt.flat_batch_sizes = {7, 64};
+  opt.compressed_batch_sizes = {7, 64};
+  testdiff::expect_all_engines_equal(n, ups, cfg, opt);
+}
+
+TEST(CompressedStoreDifferential, DeletionHeavyStreamWithForcedCadence) {
+  constexpr Vertex n = 40;
+  Rng rng(1213);
+  const auto ups = dyn_churn_planted(n, 700, rng);
+  DynamicMatcherConfig cfg;
+  cfg.eps = 0.25;
+  cfg.seed = 1213;
+  cfg.rebuild_every = 23;  // forced cadence: folds land mid-window often
+  GridOptions opt;
+  opt.run_sharded_grid = false;
+  testdiff::expect_all_engines_equal(n, ups, cfg, opt);
+}
+
+TEST(CompressedStoreContract, DirectCoreDriveIsBitIdenticalToFlat) {
+  constexpr Vertex n = 40;
+  Rng rng(77);
+  const auto ups = dyn_mixed_churn(n, 320, rng);
+
+  DynamicMatcherConfig ref_cfg;
+  ref_cfg.eps = 0.25;
+  ref_cfg.seed = 77;
+  ref_cfg.rebuild_every = 14;
+  ref_cfg.threads = 1;
+  MatrixWeakOracle ref_oracle(n);
+  DynamicMatcher ref(n, ref_oracle, ref_cfg);
+  for (const auto& up : ups) ref.apply(up);
+  ASSERT_GT(ref.rebuilds(), 0);
+
+  for (const int threads : {1, 8}) {
+    const ForceParallelSmallWork force;
+    DynamicCoreConfig cfg;
+    cfg.eps = 0.25;
+    cfg.seed = 77;
+    cfg.rebuild_every = 14;
+    cfg.threads = threads;
+    validate_core_config(cfg, /*shards=*/1, "CompressedAdjacencyStore");
+    MatrixWeakOracle oracle(n);
+    CompressedAdjacencyStore store(n, oracle);
+    DynamicReplayCore<CompressedAdjacencyStore> core(store,
+                                                     resolve_core_config(cfg));
+    for (const auto& batch : slice_updates(ups, 64)) core.apply_batch(batch);
+
+    EXPECT_EQ(core.rebuild_positions(), ref.rebuild_positions())
+        << "threads=" << threads;
+    EXPECT_EQ(core.rebuild_stats(), ref.rebuild_stats())
+        << "threads=" << threads;
+    // Same MatrixWeakOracle family, same query schedule: exact words parity
+    // with the flat reference.
+    EXPECT_EQ(oracle.words_touched(), ref_oracle.words_touched())
+        << "threads=" << threads;
+    EXPECT_EQ(core.matching().size(), ref.matching().size());
+    for (Vertex v = 0; v < n; ++v)
+      EXPECT_EQ(core.matching().mate(v), ref.matching().mate(v))
+          << "threads=" << threads << " v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace bmf

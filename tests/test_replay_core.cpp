@@ -3,11 +3,14 @@
 ///  * ReplayCoreDifferential — the cross-engine fuzz/differential harness:
 ///    one composite update stream per seed (every dyn_* workload shape plus
 ///    the new mixed-churn shape) driven through the sequential apply loop,
-///    `DynamicMatcher::apply_batch` at 1/2/8 threads, and
-///    `ShardedDynamicMatcher` at {1,2,4} shards x {1,2,8} threads in a
-///    single loop (tests/differential_util.hpp), asserting matchings,
-///    rebuild positions, weak-call counts, and within-family words_touched
-///    agree at every grid point;
+///    `DynamicMatcher::apply_batch` at 1/2/8 threads,
+///    `CompressedDynamicMatcher` (CSR + delta buffers, compressed_store.hpp)
+///    at 1/2/8 threads, and `ShardedDynamicMatcher` at {1,2,4} shards x
+///    {1,2,8} threads in a single loop (tests/differential_util.hpp),
+///    asserting matchings, rebuild positions, weak-call counts, and
+///    within-family words_touched agree at every grid point (the compressed
+///    store shares the flat family's MatrixWeakOracle, so it joins the flat
+///    words invariance exactly);
 ///  * ReplayCoreGoldenTrace — byte-exact golden records (seed, stream
 ///    digest, rebuild positions, final matching hash) for six canonical
 ///    workloads, so a silent replay-core behavior change fails even if all

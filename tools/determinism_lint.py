@@ -30,6 +30,14 @@ discipline machine-checkable:
                         the literal 1. The gate keeps small inputs serial
                         without changing output — an ungated fan-out is either
                         a perf bug or an unreviewed determinism claim.
+  raw-openmp            Everywhere under src/: no `#pragma omp` directives.
+                        The repo has exactly one parallelism mechanism — the
+                        shared pool behind bmf::parallel_for_threads with its
+                        gated_threads size gate — so thread-count bit-identity
+                        is governed in one place. An OpenMP pragma is a second
+                        scheduler with its own thread count, its own reduction
+                        order, and no gate; route the loop through the pool
+                        instead (see BitMatrix::multiply).
   publication-order     In src/service: a file that release-stores
                         published_epoch_ must carry the documented
                         publication sequence, marked `publication-order[1]`
@@ -95,6 +103,7 @@ RULES = (
     "unordered-iteration",
     "bare-thread",
     "raw-randomness",
+    "raw-openmp",
     "ungated-fanout",
     "publication-order",
     "stale-suppression",
@@ -247,6 +256,7 @@ RAW_RANDOM_RE = re.compile(
     r"(?<![\w:])(?:s?rand\s*\(|time\s*\(\s*(?:NULL|nullptr|0)?\s*\)|"
     r"std::random_device)"
 )
+OMP_PRAGMA_RE = re.compile(r"#\s*pragma\s+omp\b")
 FANOUT_RE = re.compile(r"\b(parallel_for_threads|parallel_reduce_threads)\s*\(")
 GATED_ASSIGN_RE = re.compile(rf"\b(?:int\s+)?(?:const\s+)?(?:int\s+)?({IDENT})\s*=\s*({IDENT})\s*\(")
 GATED_RETURN_RE = re.compile(rf"return\s+({IDENT})\s*\(")
@@ -392,6 +402,20 @@ def lint_file(path: str, use_libclang: str) -> list[Finding]:
                     "raw-randomness",
                     "unseeded entropy source; all randomness must flow from "
                     "a seeded bmf::Rng split serially before any fan-out",
+                )
+
+    # ---- raw-openmp ----------------------------------------------------------
+    # Pragmas survive strip_comments_and_strings (they are code, not
+    # comments), so a plain line scan is exact. Applies to every subsystem:
+    # even util/ must not grow a second scheduler next to the pool.
+    if sub is not None:
+        for idx, line in enumerate(lines):
+            if OMP_PRAGMA_RE.search(line):
+                report(
+                    idx,
+                    "raw-openmp",
+                    "OpenMP pragma bypasses the shared pool's gated_threads "
+                    "discipline; fan out through bmf::parallel_for_threads",
                 )
 
     # ---- ungated-fanout ------------------------------------------------------

@@ -1,0 +1,26 @@
+// Lint fixture (good twin): the same reduction routed through the pool —
+// per-slot partials combined in index order, thread count through the
+// gated_threads size gate. Mentioning OpenMP in a comment (like this one)
+// must not trip the rule; only a real `#pragma omp` line is a finding.
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bmf {
+namespace {
+
+constexpr std::int64_t kMinWork = 64;
+
+}  // namespace
+
+std::int64_t sum_all(int threads, const std::vector<std::int64_t>& xs) {
+  const auto n = static_cast<std::int64_t>(xs.size());
+  const int sum_threads = gated_threads(n, kMinWork, threads);
+  return parallel_reduce_threads<std::int64_t>(
+      sum_threads, n, 0,
+      [&](std::int64_t i) { return xs[static_cast<std::size_t>(i)]; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+}  // namespace bmf

@@ -26,6 +26,7 @@ BAD_EXPECTATIONS = {
     "src/core/raw_random.cpp": {"raw-randomness"},
     "src/dynamic/bare_thread.cpp": {"bare-thread"},
     "src/dynamic/stale_suppression.cpp": {"stale-suppression"},
+    "src/graph/omp_pragma.cpp": {"raw-openmp"},
     "src/graph/ungated_fanout.cpp": {"ungated-fanout"},
     "src/service/publication.cpp": {"publication-order"},
 }
@@ -69,6 +70,16 @@ class BadFixtures(unittest.TestCase):
         self.assertGreaterEqual(
             len([f for f in findings if f.rule == "raw-randomness"]), 3
         )
+
+    def test_raw_openmp_flags_the_pragma_line_only(self):
+        # Exactly one finding, on the pragma line — the loop it decorates is
+        # ordinary code and must not be swept up in the report.
+        findings = lint(
+            os.path.join(FIXTURES, "bad", "src/graph/omp_pragma.cpp")
+        )
+        omp = [f for f in findings if f.rule == "raw-openmp"]
+        self.assertEqual(1, len(omp), [f.render() for f in findings])
+        self.assertIn("gated_threads", omp[0].message)
 
 
 class GoodFixtures(unittest.TestCase):
